@@ -1,0 +1,111 @@
+// Ablation: the striping cluster size c.
+//
+// The paper: "It is obvious that the size of the cluster c ... plays a
+// decisive part in dealing with network congestion according to this
+// latest technique."  The VRA can only change servers at cluster
+// boundaries, so c sets the re-routing reaction time.  A client at Athens
+// starts a long title shortly before the 10am congestion shift (when the
+// optimal source flips from Ioannina to Xanthi); small clusters react,
+// huge clusters ride out the congestion on the stale route.
+#include <iostream>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "net/transfer.h"
+#include "snmp/snmp_module.h"
+#include "stream/session.h"
+
+using namespace vod;
+
+namespace {
+
+struct Outcome {
+  double download_seconds = 0.0;
+  double startup_seconds = 0.0;
+  double rebuffer_seconds = 0.0;
+  int switches = 0;
+  std::size_t clusters = 0;
+  bool finished = false;
+};
+
+Outcome run_with_cluster(MegaBytes cluster) {
+  const grnet::CaseStudy g = grnet::build_case_study();
+  const net::TraceTraffic trace = grnet::table2_trace(g);
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, trace};
+  net::TransferManager transfers{sim, network};
+
+  db::Database db{bench::kAdmin};
+  for (std::size_t n = 0; n < g.topology.node_count(); ++n) {
+    const NodeId node{static_cast<NodeId::underlying_type>(n)};
+    db.register_server(node, g.topology.node_name(node), {});
+  }
+  for (const net::LinkInfo& info : g.topology.links()) {
+    db.register_link(info.id, info.name, info.capacity);
+  }
+  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), 90.0};
+  snmp.poll_now(SimTime{0.0});
+  snmp.start();
+
+  const VideoId movie =
+      db.register_video("epic", MegaBytes{600.0}, Mbps{1.5});
+  auto limited = db.limited_view(bench::kAdmin);
+  limited.add_title(g.ioannina, movie);
+  limited.add_title(g.xanthi, movie);
+
+  vra::Vra vra{g.topology, db.full_view(), db.limited_view(bench::kAdmin),
+               {}};
+  stream::VraPolicy policy{vra};
+
+  Outcome outcome;
+  std::unique_ptr<stream::Session> session;
+  sim.schedule_at(from_hours(9.9), [&](SimTime) {
+    session = std::make_unique<stream::Session>(
+        sim, transfers, policy, *db.full_view().video(movie), g.athens,
+        cluster);
+    session->start();
+  });
+  sim.run_until(from_hours(24.0));
+  snmp.stop();
+
+  const stream::SessionMetrics& m = session->metrics();
+  outcome.finished = m.finished;
+  if (m.finished) {
+    outcome.download_seconds = *m.download_completed_at - m.requested_at;
+  }
+  outcome.startup_seconds = m.startup_delay();
+  outcome.rebuffer_seconds = m.rebuffer_seconds;
+  outcome.switches = m.server_switches;
+  outcome.clusters = session->cluster_count();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Ablation: cluster size c vs re-routing agility");
+  std::cout << "600 MB title @1.5 Mbps; client at Athens starting 9:54am;\n"
+               "title held at Ioannina and Xanthi.  At 10am the Table 2\n"
+               "traffic step makes the Ioannina route expensive.\n\n";
+
+  TextTable table{{"c (MB)", "clusters", "download (s)", "startup (s)",
+                   "rebuffer (s)", "switches", "finished"}};
+  for (const double c : {5.0, 10.0, 25.0, 50.0, 100.0, 300.0, 600.0}) {
+    const Outcome o = run_with_cluster(MegaBytes{c});
+    table.add_row({TextTable::num(c, 0), std::to_string(o.clusters),
+                   TextTable::num(o.download_seconds, 0),
+                   TextTable::num(o.startup_seconds, 0),
+                   TextTable::num(o.rebuffer_seconds, 0),
+                   std::to_string(o.switches), o.finished ? "yes" : "NO"});
+  }
+  std::cout << table.render();
+  std::cout << "\nExpected shape: small c switches away from the congested "
+               "route soon after\nthe 10am shift and finishes sooner; one "
+               "giant cluster (c = title size)\ncannot re-route at all — "
+               "the paper's argument for cluster-grained switching.\n"
+               "(Large c also trades a huge startup delay for rebuffer-free "
+               "playback, since\nplayback begins only after the first "
+               "cluster is complete.)\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Request coalescing (batching) — the service-aggregation idea of the
+// paper's refs [10]/[14], measured.
+//
+// An evening burst of Zipf requests hits GRNET; with a batching window,
+// near-simultaneous requests for a popular title at one site share a
+// stream.  Reported per window: streams actually opened, requests
+// coalesced, and the network bytes moved.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "service/vod_service.h"
+#include "workload/request_gen.h"
+
+using namespace vod;
+
+namespace {
+
+struct RunResult {
+  std::size_t requests = 0;
+  std::size_t streams = 0;
+  std::size_t coalesced = 0;
+  double network_mb = 0.0;  // bytes moved over backbone links
+};
+
+RunResult run(double window_seconds) {
+  const grnet::CaseStudy g = grnet::build_case_study();
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{25.0};
+  options.dma.admission_threshold = 1'000'000;  // isolate batching
+  options.coalesce_window_seconds = window_seconds;
+  options.vra_switch_hysteresis = 0.5;
+  service::VodService service{sim, g.topology, network, options,
+                              bench::kAdmin};
+
+  std::vector<VideoId> videos;
+  for (int v = 0; v < 8; ++v) {
+    videos.push_back(service.add_video("t" + std::to_string(v),
+                                       MegaBytes{200.0}, Mbps{1.5}));
+    service.place_initial_copy(
+        NodeId{static_cast<NodeId::underlying_type>(v % 3 * 2)},
+        videos.back());
+  }
+  service.start();
+
+  // A tight evening burst: 60 requests in 30 minutes from 6 sites.
+  std::vector<NodeId> homes;
+  for (std::size_t n = 0; n < 6; ++n) {
+    homes.push_back(NodeId{static_cast<NodeId::underlying_type>(n)});
+  }
+  workload::RequestGenerator gen{videos, 1.2, homes};
+  Rng rng{31337};
+  const auto requests =
+      gen.generate_count(from_hours(20.0), 1800.0, 60, rng);
+  for (const workload::Request& request : requests) {
+    sim.schedule_at(request.at, [&service, request](SimTime) {
+      (void)service.request_at(request.home, request.video);
+    });
+  }
+  sim.run_until(from_hours(30.0));
+
+  RunResult result;
+  result.requests = requests.size();
+  result.streams = service.session_ids().size();
+  result.coalesced = service.coalesced_count();
+  for (const SessionId id : service.session_ids()) {
+    const stream::Session& session = service.session(id);
+    const stream::SessionMetrics& m = session.metrics();
+    if (!m.finished) continue;
+    // Bytes crossed the backbone only when the source was remote.
+    for (const NodeId source : m.cluster_sources) {
+      if (source != session.home()) result.network_mb += 25.0;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Request coalescing: streams and bytes vs batch window");
+  std::cout << "60 requests in 30 evening minutes, 8 titles x 200 MB, "
+               "Zipf 1.2, 6 sites\n\n";
+
+  TextTable table{{"Window (s)", "requests", "streams opened", "coalesced",
+                   "backbone MB"}};
+  for (const double window : {0.0, 30.0, 120.0, 600.0}) {
+    const RunResult r = run(window);
+    table.add_row({TextTable::num(window, 0), std::to_string(r.requests),
+                   std::to_string(r.streams),
+                   std::to_string(r.coalesced),
+                   TextTable::num(r.network_mb, 0)});
+  }
+  std::cout << table.render();
+  std::cout << "\nExpected shape: larger windows fold more of the burst "
+               "into shared streams,\ncutting both stream count and "
+               "backbone bytes — the multicast-style gain the\npaper's "
+               "adaptive-VoD references pursue, here without any network "
+               "support.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Regenerates Figure 6 — the GRNET backbone topology — as a link
+// inventory and adjacency listing (the figure itself is a map).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+using namespace vod;
+
+int main() {
+  bench::heading("Figure 6: GRNET backbone (as data)");
+
+  const grnet::CaseStudy g = grnet::build_case_study();
+
+  TextTable nodes{{"Node", "City", "Degree", "Access bandwidth"}};
+  for (std::size_t n = 0; n < g.topology.node_count(); ++n) {
+    const NodeId node{static_cast<NodeId::underlying_type>(n)};
+    Mbps access{0.0};
+    for (const LinkId link : g.topology.links_adjacent_to(node)) {
+      access += g.topology.link(link).capacity;
+    }
+    nodes.add_row({g.topology.node_name(node), g.city(node),
+                   std::to_string(g.topology.links_adjacent_to(node).size()),
+                   TextTable::num(access.value(), 0) + " Mbps"});
+  }
+  std::cout << nodes.render() << "\n";
+
+  TextTable links{{"Link", "Endpoints", "Capacity"}};
+  for (const LinkId id : g.links_in_paper_order()) {
+    const net::LinkInfo& info = g.topology.link(id);
+    links.add_row({info.name,
+                   g.topology.node_name(info.a) + " - " +
+                       g.topology.node_name(info.b),
+                   TextTable::num(info.capacity.value(), 0) + " Mbps"});
+  }
+  std::cout << links.render();
+  std::cout << "\n6 nodes, 7 links; every node hosts a video server.\n";
+  return 0;
+}

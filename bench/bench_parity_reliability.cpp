@@ -1,0 +1,109 @@
+// Reliability ablation: plain (paper) striping vs RAID-5-style parity.
+//
+// The paper's cyclic striping (Figure 3) spreads every title over every
+// disk — which maximizes throughput but means ONE disk failure wipes the
+// whole cache.  This bench quantifies that fragility and what the parity
+// extension buys: titles surviving k random disk failures, the capacity
+// overhead paid, and the degraded-read latency.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "storage/disk_array.h"
+
+using namespace vod;
+
+namespace {
+
+storage::DiskProfile profile() {
+  return storage::DiskProfile{.capacity = MegaBytes{20000.0},
+                              .transfer_rate = Mbps{80.0},
+                              .seek_seconds = 0.009};
+}
+
+/// Loads `titles` x 900 MB into the array; returns how many were stored.
+int load_titles(storage::DiskArray& array, int titles) {
+  int stored = 0;
+  for (int v = 0; v < titles; ++v) {
+    if (array.store(VideoId{static_cast<VideoId::underlying_type>(v)},
+                    MegaBytes{900.0})) {
+      ++stored;
+    }
+  }
+  return stored;
+}
+
+/// Mean fraction of titles surviving `failures` random disk crashes,
+/// averaged over trials.
+double survival_fraction(storage::StripingMode mode, std::size_t disks,
+                         int failures, int trials) {
+  double total = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng rng{static_cast<std::uint64_t>(trial) * 977 + 13};
+    storage::DiskArray array{disks, profile(), MegaBytes{50.0}, mode};
+    const int stored = load_titles(array, 40);
+    std::vector<std::size_t> order;
+    for (std::size_t s = 0; s < disks; ++s) order.push_back(s);
+    for (int f = 0; f < failures; ++f) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(order.size()) - 1));
+      array.fail_disk(order[pick]);
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    total += static_cast<double>(array.stored_videos().size()) / stored;
+  }
+  return total / trials;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Reliability: plain (paper) striping vs parity");
+  std::cout << "8 disks x 20 GB per server, 40 titles x 900 MB, cluster "
+               "50 MB, 200 trials per cell\n\n";
+
+  TextTable survival{{"Disk failures", "plain survival", "parity survival"}};
+  for (const int failures : {0, 1, 2, 3}) {
+    survival.add_row({std::to_string(failures),
+                      TextTable::num(survival_fraction(
+                          storage::StripingMode::kPlain, 8, failures, 200),
+                          3),
+                      TextTable::num(survival_fraction(
+                          storage::StripingMode::kParity, 8, failures, 200),
+                          3)});
+  }
+  std::cout << "fraction of cached titles surviving:\n" << survival.render();
+
+  // Capacity overhead + degraded read latency.
+  storage::DiskArray plain{8, profile(), MegaBytes{50.0},
+                           storage::StripingMode::kPlain};
+  storage::DiskArray parity{8, profile(), MegaBytes{50.0},
+                            storage::StripingMode::kParity};
+  load_titles(plain, 40);
+  load_titles(parity, 40);
+  std::cout << "\nraw bytes per 900 MB title: plain "
+            << TextTable::num(plain.total_used().value() / 40.0, 0)
+            << " MB, parity "
+            << TextTable::num(parity.total_used().value() / 40.0, 0)
+            << " MB (overhead 1/(n-1) = "
+            << TextTable::num(100.0 / 7.0, 1) << "%)\n";
+
+  const double healthy = parity.cluster_read_seconds(VideoId{0}, 0);
+  const std::size_t hot_slot = parity.placement(VideoId{0}).part_to_disk[0];
+  parity.fail_disk(hot_slot);
+  const double degraded = parity.cluster_read_seconds(VideoId{0}, 0);
+  std::cout << "cluster read: healthy "
+            << TextTable::num(healthy * 1000.0, 1) << " ms, degraded "
+            << TextTable::num(degraded * 1000.0, 1)
+            << " ms (reconstruction reads " << 7
+            << " surviving clusters in parallel)\n";
+  std::cout << "\nExpected shape: the paper's layout loses the entire "
+               "cache on the first disk\nfailure; single parity makes that "
+               "failure free (for a ~14% capacity tax)\nbut a second "
+               "overlapping failure is still fatal to titles striped over "
+               "all\ndisks — wider protection needs multi-parity or "
+               "server-level replication\n(which the DMA's 'most popular' "
+               "redundancy provides across the network).\n";
+  return 0;
+}

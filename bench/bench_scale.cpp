@@ -1,0 +1,201 @@
+// Scale study: beyond the paper's 6-node case.
+//
+// The paper argues its service "grows with the network".  This bench runs
+// a 12-node two-tier national backbone (3 core nodes in a 34 Mbps
+// triangle, 9 access sites on 2-10 Mbps spurs), synthetic diurnal
+// background traffic, a Zipf catalog with 2 replicas per title, and one
+// day of diurnally-arriving requests — comparing the VRA against the
+// baselines at a size the authors' testbed could not reach.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/selection_baselines.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "net/transfer.h"
+#include "snmp/snmp_module.h"
+#include "stream/session.h"
+#include "workload/request_gen.h"
+
+using namespace vod;
+
+namespace {
+
+struct Network {
+  net::Topology topo;
+  std::vector<NodeId> cores;
+  std::vector<NodeId> edges;
+};
+
+Network build_network() {
+  Network n;
+  for (int c = 0; c < 3; ++c) {
+    n.cores.push_back(n.topo.add_node("core" + std::to_string(c)));
+  }
+  n.topo.add_link(n.cores[0], n.cores[1], Mbps{34.0});
+  n.topo.add_link(n.cores[1], n.cores[2], Mbps{34.0});
+  n.topo.add_link(n.cores[2], n.cores[0], Mbps{34.0});
+  for (int e = 0; e < 9; ++e) {
+    const NodeId edge = n.topo.add_node("edge" + std::to_string(e));
+    n.edges.push_back(edge);
+    // Mixed access speeds: 2, 6, 10 Mbps.
+    const double capacity = 2.0 + 4.0 * (e % 3);
+    n.topo.add_link(n.cores[e % 3], edge, Mbps{capacity});
+  }
+  return n;
+}
+
+struct RunResult {
+  SampleSet download_seconds;
+  int qos_ok = 0;
+  int finished = 0;
+  int failed = 0;
+  int switches = 0;
+};
+
+enum class Policy { kVra, kNearest, kRandom };
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kVra:
+      return "VRA (+50% hysteresis)";
+    case Policy::kNearest:
+      return "nearest-by-hops";
+    case Policy::kRandom:
+      return "random holder";
+  }
+  return "?";
+}
+
+RunResult run(Policy which) {
+  const Network n = build_network();
+  net::DiurnalTraffic traffic{14.0};
+  for (const net::LinkInfo& info : n.topo.links()) {
+    traffic.set_shape(info.id, {.capacity = info.capacity,
+                                .base_fraction = 0.10,
+                                .peak_fraction = 0.60});
+  }
+  // One hot core trunk (a transit exchange): hop-count routing keeps
+  // using it; load-aware routing detours over the other two core links.
+  const LinkId hot = *n.topo.find_link(n.cores[0], n.cores[1]);
+  traffic.set_shape(hot, {.capacity = Mbps{34.0},
+                          .base_fraction = 0.55,
+                          .peak_fraction = 0.97});
+  sim::Simulation sim;
+  net::FluidNetwork network{n.topo, traffic};
+  net::TransferManager transfers{sim, network};
+
+  db::Database db{bench::kAdmin};
+  for (std::size_t i = 0; i < n.topo.node_count(); ++i) {
+    const NodeId node{static_cast<NodeId::underlying_type>(i)};
+    db.register_server(node, n.topo.node_name(node), {});
+  }
+  for (const net::LinkInfo& info : n.topo.links()) {
+    db.register_link(info.id, info.name, info.capacity);
+  }
+  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), 90.0};
+  snmp.poll_now(SimTime{0.0});
+  snmp.start();
+
+  // 30 titles, 2 replicas, placed round-robin with a rank offset so
+  // popular titles sit on different servers.
+  std::vector<VideoId> videos;
+  std::vector<db::VideoInfo> infos;
+  auto view = db.limited_view(bench::kAdmin);
+  for (int v = 0; v < 30; ++v) {
+    const VideoId id = db.register_video("t" + std::to_string(v),
+                                         MegaBytes{120.0}, Mbps{1.5});
+    videos.push_back(id);
+    infos.push_back(*db.full_view().video(id));
+    view.add_title(NodeId{static_cast<NodeId::underlying_type>(v % 12)},
+                   id);
+    view.add_title(
+        NodeId{static_cast<NodeId::underlying_type>((v + 5) % 12)}, id);
+  }
+
+  vra::Vra vra{n.topo, db.full_view(), db.limited_view(bench::kAdmin), {}};
+  stream::VraPolicy vra_policy{vra, 0.5};
+  baselines::NearestByHopsPolicy nearest{n.topo, db.full_view(),
+                                         db.limited_view(bench::kAdmin)};
+  baselines::RandomHolderPolicy random{n.topo, db.full_view(),
+                                       db.limited_view(bench::kAdmin),
+                                       Rng{4242}};
+  stream::ServerSelectionPolicy* policy = nullptr;
+  switch (which) {
+    case Policy::kVra:
+      policy = &vra_policy;
+      break;
+    case Policy::kNearest:
+      policy = &nearest;
+      break;
+    case Policy::kRandom:
+      policy = &random;
+      break;
+  }
+
+  // One day of requests, evening-peaked, from the edge sites only.
+  workload::RequestGenerator gen{videos, 1.0, n.edges};
+  Rng rng{77};
+  const auto requests = gen.generate_diurnal(
+      from_hours(0.0), hours(24.0), 80.0 / 86400.0, 20.0, 4.0, rng);
+
+  std::vector<std::unique_ptr<stream::Session>> sessions;
+  for (const workload::Request& request : requests) {
+    sim.schedule_at(request.at, [&, request](SimTime) {
+      auto session = std::make_unique<stream::Session>(
+          sim, transfers, *policy, infos[request.video.value()],
+          request.home, MegaBytes{30.0});
+      session->start();
+      sessions.push_back(std::move(session));
+    });
+  }
+  sim.run_until(from_hours(48.0));
+  snmp.stop();
+
+  RunResult result;
+  for (const auto& session : sessions) {
+    const stream::SessionMetrics& m = session->metrics();
+    if (m.failed || !m.finished) {
+      ++result.failed;
+      continue;
+    }
+    ++result.finished;
+    result.download_seconds.add(*m.download_completed_at - m.requested_at);
+    result.switches += m.server_switches;
+    if (m.meets_qos_floor(Mbps{1.5})) ++result.qos_ok;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("Scale study: 12-node two-tier backbone, one day");
+  std::cout << "30 titles x 120 MB @1.5 Mbps, 2 replicas; ~80 "
+               "evening-peaked requests from\n9 access sites; diurnal "
+               "background 10-60% of capacity; cluster 30 MB\n\n";
+
+  TextTable table{{"Policy", "finished", "failed", "DL median (s)",
+                   "DL p95 (s)", "QoS-ok %", "switches"}};
+  for (const Policy policy :
+       {Policy::kVra, Policy::kNearest, Policy::kRandom}) {
+    const RunResult r = run(policy);
+    const double qos_share =
+        r.finished > 0 ? 100.0 * r.qos_ok / r.finished : 0.0;
+    table.add_row({policy_name(policy), std::to_string(r.finished),
+                   std::to_string(r.failed),
+                   TextTable::num(r.download_seconds.median(), 0),
+                   TextTable::num(r.download_seconds.quantile(0.95), 0),
+                   TextTable::num(qos_share, 0),
+                   std::to_string(r.switches)});
+  }
+  std::cout << table.render();
+  std::cout << "\nExpected shape: at this scale the tail (p95) separates "
+               "the policies — the\nVRA's load awareness avoids the slow "
+               "2 Mbps spurs when a core replica is\nreachable, while "
+               "random selection keeps landing on them.\n";
+  return 0;
+}

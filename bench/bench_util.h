@@ -1,0 +1,48 @@
+// Shared scaffolding for the table-regeneration benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "db/database.h"
+#include "grnet/grnet.h"
+#include "net/topology.h"
+
+namespace vod::bench {
+
+inline const db::AdminCredential kAdmin{"bench-admin"};
+
+/// The case-study database: all six servers, all seven links, one movie,
+/// Table 2 statistics for the chosen instant.
+struct CaseDb {
+  grnet::CaseStudy g = grnet::build_case_study();
+  db::Database db{kAdmin};
+  VideoId movie;
+
+  explicit CaseDb(grnet::TimeOfDay t) {
+    for (std::size_t n = 0; n < g.topology.node_count(); ++n) {
+      const NodeId node{static_cast<NodeId::underlying_type>(n)};
+      db.register_server(node, g.topology.node_name(node), {});
+    }
+    for (const net::LinkInfo& info : g.topology.links()) {
+      db.register_link(info.id, info.name, info.capacity);
+    }
+    movie = db.register_video("movie", MegaBytes{900.0}, Mbps{2.0});
+    auto view = db.limited_view(kAdmin);
+    for (const LinkId link : g.links_in_paper_order()) {
+      const grnet::LinkSample sample = grnet::table2_sample(g, link, t);
+      view.update_link_stats(link, sample.used, sample.utilization,
+                             grnet::time_of(t));
+    }
+  }
+
+  void place(NodeId server) {
+    db.limited_view(kAdmin).add_title(server, movie);
+  }
+};
+
+inline void heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace vod::bench

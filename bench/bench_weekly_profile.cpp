@@ -1,0 +1,108 @@
+// A week on the backbone: the Table 2 day repeated seven times.
+//
+// The paper measured one day; PeriodicTraffic turns that day into a
+// campaign.  Requests arrive around the clock for a week, and the
+// per-hour-of-day profile of download performance shows the service
+// breathing with the network: quiet small-hours, rough mid-morning after
+// the 10am congestion step — the "dynamic adjustment" aggregated.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "service/report.h"
+#include "service/vod_service.h"
+#include "workload/request_gen.h"
+
+using namespace vod;
+
+int main() {
+  bench::heading("A simulated week: Table 2 traffic repeated daily");
+
+  const grnet::CaseStudy g = grnet::build_case_study();
+  const net::TraceTraffic day = grnet::table2_trace(g);
+  const net::PeriodicTraffic week{day, 86400.0};
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, week};
+
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{25.0};
+  options.dma.admission_threshold = 2;
+  options.vra_switch_hysteresis = 0.5;
+  options.session.stall_timeout_seconds = 3600.0;
+  service::VodService service{sim, g.topology, network, options,
+                              bench::kAdmin};
+
+  std::vector<VideoId> videos;
+  for (int v = 0; v < 12; ++v) {
+    videos.push_back(service.add_video("t" + std::to_string(v),
+                                       MegaBytes{120.0}, Mbps{1.5}));
+    service.place_initial_copy(
+        NodeId{static_cast<NodeId::underlying_type>(v % 6)},
+        videos.back());
+    service.place_initial_copy(
+        NodeId{static_cast<NodeId::underlying_type>((v + 3) % 6)},
+        videos.back());
+  }
+  service.start();
+
+  std::vector<NodeId> homes;
+  for (std::size_t n = 0; n < 6; ++n) {
+    homes.push_back(NodeId{static_cast<NodeId::underlying_type>(n)});
+  }
+  workload::RequestGenerator gen{videos, 1.0, homes};
+  Rng rng{777};
+  const auto requests = gen.generate(
+      SimTime{0.0}, 7.0 * 86400.0, 150.0 / (7.0 * 86400.0), rng);
+  std::vector<std::pair<SessionId, double>> started;  // (id, hour of day)
+  for (const workload::Request& request : requests) {
+    sim.schedule_at(request.at, [&, request](SimTime t) {
+      const double hour = std::fmod(t.seconds() / 3600.0, 24.0);
+      started.emplace_back(service.request_at(request.home, request.video),
+                           hour);
+    });
+  }
+  sim.run_until(from_hours(8.0 * 24.0));
+
+  // Bucket by 4-hour band of the request's hour of day.
+  const char* kBands[6] = {"00-04", "04-08", "08-12",
+                           "12-16", "16-20", "20-24"};
+  SampleSet download[6];
+  int rebuffered[6] = {};
+  int counts[6] = {};
+  for (const auto& [id, hour] : started) {
+    const stream::SessionMetrics& m = service.session(id).metrics();
+    if (!m.finished) continue;
+    const int band = std::min(5, static_cast<int>(hour / 4.0));
+    ++counts[band];
+    download[band].add(*m.download_completed_at - m.requested_at);
+    if (m.rebuffer_events > 0) ++rebuffered[band];
+  }
+
+  TextTable table{{"Hour band", "sessions", "DL median (s)", "DL p95 (s)",
+                   "rebuffered"}};
+  for (int band = 0; band < 6; ++band) {
+    table.add_row(
+        {kBands[band], std::to_string(counts[band]),
+         counts[band] ? TextTable::num(download[band].median(), 0) : "-",
+         counts[band] ? TextTable::num(download[band].quantile(0.95), 0)
+                      : "-",
+         std::to_string(rebuffered[band])});
+  }
+  std::cout << "~150 requests over 7 days, 12 titles x 2 replicas:\n\n"
+            << table.render();
+
+  const service::ServiceReport report =
+      service::build_report(service, Mbps{0.0});
+  std::cout << "\nweek totals: " << report.finished << " finished, "
+            << report.failed << " failed, QoS-ok "
+            << TextTable::num(100.0 * report.qos_ok_share(), 0) << "%\n";
+  std::cout << "\nExpected shape: the pre-8am band is fastest (the trace's "
+               "quiet hours); the\nbands after the 10am step carry the "
+               "rebuffering — the same diurnal pattern,\nevery day, as the "
+               "service keeps adapting.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Failure handling end to end: a backbone link dies mid-stream, the stall
+// watchdog rescues the cluster that was in flight, the SNMP poll marks the
+// link offline, and the VRA re-routes the rest of the stream around the
+// outage — same source server, new path.
+//
+// Build & run:  ./build/examples/failover
+#include <iomanip>
+#include <iostream>
+
+#include "grnet/grnet.h"
+#include "net/fluid.h"
+#include "service/vod_service.h"
+#include "sim/simulation.h"
+
+using namespace vod;
+
+int main() {
+  const grnet::CaseStudy g = grnet::build_case_study();
+  // Busy Patra-Athens (75%) makes the VRA's pre-failure choice
+  // deterministic: Patra reaches Thessaloniki via Ioannina.
+  net::ConstantTraffic traffic;
+  traffic.set_load(g.patra_athens, Mbps{1.5});
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{10.0};
+  options.snmp_interval_seconds = 30.0;
+  options.dma.admission_threshold = 1'000'000;  // keep the title remote
+  options.session.stall_timeout_seconds = 200.0;
+  options.vra_switch_hysteresis = 0.3;  // suppress replica ping-pong
+  service::VodService service{sim, g.topology, network, options,
+                              db::AdminCredential{"failover-admin"}};
+
+  const VideoId movie =
+      service.add_video("disaster movie", MegaBytes{60.0}, Mbps{1.5});
+  service.place_initial_copy(g.thessaloniki, movie);
+  service.place_initial_copy(g.xanthi, movie);
+  service.start();
+
+  std::cout << "client at Patra requests the title; the VRA avoids the "
+               "75%-loaded\nPatra-Athens link and pulls from Thessaloniki "
+               "via Ioannina (U2,U3,U4)\n";
+  const SessionId id = service.request_at(g.patra, movie);
+
+  sim.schedule_at(SimTime{15.0}, [&](SimTime t) {
+    std::cout << "t=" << t.seconds()
+              << "s  *** Patra-Ioannina fiber cut (mid-cluster) ***\n";
+    network.set_link_up(g.patra_ioannina, false);
+  });
+  sim.run_until(from_hours(2.0));
+
+  const stream::Session& session = service.session(id);
+  const stream::SessionMetrics& m = session.metrics();
+  std::cout << std::fixed << std::setprecision(1);
+  for (std::size_t k = 0; k < m.cluster_sources.size(); ++k) {
+    std::cout << "  cluster " << k << " from "
+              << g.city(m.cluster_sources[k]) << " (done t="
+              << m.cluster_completed[k].seconds() << "s)\n";
+  }
+  std::cout << "finished: " << std::boolalpha << m.finished
+            << "; stall retries: " << m.stall_retries
+            << "; server switches: " << m.server_switches << "\n";
+  std::cout << "link marked offline in the database: " << std::boolalpha
+            << !service.admin_view().link(g.patra_ioannina).online << "\n";
+  std::cout << "\nThe watchdog abandoned the stalled cluster after 200 s; "
+               "the SNMP poll had\nalready marked the link offline, so the "
+               "re-run VRA kept the same server but\nre-routed over the "
+               "congested Athens leg (slower, but alive) — the paper's\n"
+               "'adjust to network changes without reprogramming'.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Spec-driven deployment: the whole service initialized from one
+// declarative text artifact — the programmatic equivalent of the paper's
+// administrator web forms.
+//
+// Build & run:  ./build/examples/spec_driven
+#include <iostream>
+
+#include "net/fluid.h"
+#include "net/traffic.h"
+#include "service/spec.h"
+#include "sim/simulation.h"
+
+using namespace vod;
+
+namespace {
+
+const char* kDeployment = R"(
+# A small national deployment, web-form style.
+node capital
+node port
+node island
+link capital port 10
+link capital island 2          # undersea cable, thin
+server_defaults disks=6 disk_mb=8192
+cluster_mb 20
+snmp_interval 60
+dma_threshold 3                # cache a title locally after 4 requests
+
+subnet 10.10.0.0/16 capital
+subnet 10.20.0.0/16 port
+subnet 10.30.0.0/16 island
+
+video "evening news" size_mb=300 bitrate=1.5
+video "feature film" size_mb=1400 bitrate=3
+place "evening news" capital
+place "feature film" capital
+place "feature film" port      # second replica near the viewers
+)";
+
+}  // namespace
+
+int main() {
+  const service::ServiceSpec spec = service::parse_service_spec(kDeployment);
+  std::cout << "parsed deployment: " << spec.topology.node_count()
+            << " nodes, " << spec.topology.link_count() << " links, "
+            << spec.videos.size() << " titles, " << spec.placements.size()
+            << " placements\n";
+
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  net::FluidNetwork network{spec.topology, traffic};
+  service::VodService service{sim, spec.topology, network, spec.options,
+                              db::AdminCredential{"spec-admin"}};
+  const auto videos = service::initialize_from_spec(spec, service);
+  service.start();
+
+  // A viewer on the island watches the news (remote over the 2 Mbps
+  // cable); one in the port city watches the film (local replica).
+  const SessionId island_session = service.request_by_ip(
+      "10.30.1.5", videos.at("evening news"));
+  const SessionId port_session = service.request_by_ip(
+      "10.20.9.9", videos.at("feature film"));
+  sim.run_until(from_hours(2.0));
+
+  for (const auto& [label, id] :
+       {std::pair{"island/news", island_session},
+        std::pair{"port/film", port_session}}) {
+    const stream::SessionMetrics& m = service.session(id).metrics();
+    std::cout << label << ": finished=" << std::boolalpha << m.finished
+              << " download="
+              << (m.download_completed_at ? *m.download_completed_at -
+                                                m.requested_at
+                                          : 0.0)
+              << "s startup=" << m.startup_delay()
+              << "s mean rate=" << m.mean_delivered_rate << "\n";
+  }
+  std::cout << "\nThe island session crossed the thin 2 Mbps cable (note "
+               "the rate); the port\nsession was served by its local "
+               "replica — placement straight from the spec.\n";
+
+  // Popularity at work: after enough island requests the DMA (threshold 3
+  // from the spec) caches the news locally and the cable is bypassed.
+  for (int i = 0; i < 4; ++i) {
+    service.request_by_ip("10.30.1.6", videos.at("evening news"));
+    sim.run_until(sim.now() + hours(1.0));
+  }
+  const auto island = spec.topology.find_node("island");
+  std::cout << "after 4 more island requests, cached locally: "
+            << std::boolalpha
+            << service.dma_cache(*island).cached(videos.at("evening news"))
+            << "\n";
+  return 0;
+}

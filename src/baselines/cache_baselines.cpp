@@ -1,0 +1,71 @@
+#include "baselines/cache_baselines.h"
+
+#include <stdexcept>
+
+namespace vod::baselines {
+
+LruTitleCache::LruTitleCache(MegaBytes capacity) : capacity_(capacity) {
+  if (capacity.value() <= 0.0) {
+    throw std::invalid_argument("LruTitleCache: capacity must be positive");
+  }
+}
+
+void LruTitleCache::evict_one() {
+  const auto& [video, size] = order_.back();
+  used_ -= size;
+  index_.erase(video);
+  order_.pop_back();
+}
+
+bool LruTitleCache::on_request(VideoId video, MegaBytes size) {
+  if (size.value() <= 0.0) {
+    throw std::invalid_argument("LruTitleCache: size must be positive");
+  }
+  const auto it = index_.find(video);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);  // move to front
+    return true;
+  }
+  if (size > capacity_) return false;  // cannot ever fit
+  while (used_ + size > capacity_ && !order_.empty()) evict_one();
+  order_.emplace_front(video, size);
+  index_[video] = order_.begin();
+  used_ += size;
+  return false;
+}
+
+LfuTitleCache::LfuTitleCache(MegaBytes capacity) : capacity_(capacity) {
+  if (capacity.value() <= 0.0) {
+    throw std::invalid_argument("LfuTitleCache: capacity must be positive");
+  }
+}
+
+void LfuTitleCache::evict_one() {
+  // Least-frequent cached title; ties toward the lowest id (determinism).
+  VideoId victim;
+  std::uint64_t fewest = 0;
+  for (const auto& [video, size] : cached_) {
+    const std::uint64_t f = frequency_[video];
+    if (!victim.valid() || f < fewest) {
+      victim = video;
+      fewest = f;
+    }
+  }
+  used_ -= cached_.at(victim);
+  cached_.erase(victim);
+}
+
+bool LfuTitleCache::on_request(VideoId video, MegaBytes size) {
+  if (size.value() <= 0.0) {
+    throw std::invalid_argument("LfuTitleCache: size must be positive");
+  }
+  ++frequency_[video];
+  if (cached_.contains(video)) return true;
+  if (size > capacity_) return false;
+  while (used_ + size > capacity_ && !cached_.empty()) evict_one();
+  cached_.emplace(video, size);
+  used_ += size;
+  return false;
+}
+
+}  // namespace vod::baselines

@@ -1,0 +1,97 @@
+// Baseline caching policies to compare against the DMA.
+//
+// A TitleCache answers, per request, whether the title was served from the
+// local cache, updating its contents on the way — the common interface the
+// Figure-2 bench uses to put DMA, LRU, LFU and no-cache side by side.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "dma/dma_cache.h"
+
+namespace vod::baselines {
+
+/// Per-request cache behaviour under a byte-capacity budget.
+class TitleCache {
+ public:
+  virtual ~TitleCache() = default;
+
+  /// Processes one request; returns true when it was a cache hit.
+  virtual bool on_request(VideoId video, MegaBytes size) = 0;
+
+  [[nodiscard]] virtual bool contains(VideoId video) const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The paper's DMA over a real striped disk array.
+class DmaTitleCache final : public TitleCache {
+ public:
+  /// `cache` must outlive this adapter.
+  explicit DmaTitleCache(dma::DmaCache& cache) : cache_(cache) {}
+
+  bool on_request(VideoId video, MegaBytes size) override {
+    return cache_.on_request(video, size) == dma::DmaOutcome::kHit;
+  }
+  [[nodiscard]] bool contains(VideoId video) const override {
+    return cache_.cached(video);
+  }
+  [[nodiscard]] const char* name() const override { return "DMA"; }
+
+ private:
+  dma::DmaCache& cache_;
+};
+
+/// Classic byte-bounded LRU: always admit, evict least-recently used.
+class LruTitleCache final : public TitleCache {
+ public:
+  explicit LruTitleCache(MegaBytes capacity);
+
+  bool on_request(VideoId video, MegaBytes size) override;
+  [[nodiscard]] bool contains(VideoId video) const override {
+    return index_.contains(video);
+  }
+  [[nodiscard]] const char* name() const override { return "LRU"; }
+
+ private:
+  void evict_one();
+
+  MegaBytes capacity_;
+  MegaBytes used_{0.0};
+  std::list<std::pair<VideoId, MegaBytes>> order_;  // front = most recent
+  std::unordered_map<VideoId, decltype(order_)::iterator> index_;
+};
+
+/// Byte-bounded LFU: always admit, evict least-frequently used.
+class LfuTitleCache final : public TitleCache {
+ public:
+  explicit LfuTitleCache(MegaBytes capacity);
+
+  bool on_request(VideoId video, MegaBytes size) override;
+  [[nodiscard]] bool contains(VideoId video) const override {
+    return cached_.contains(video);
+  }
+  [[nodiscard]] const char* name() const override { return "LFU"; }
+
+ private:
+  void evict_one();
+
+  MegaBytes capacity_;
+  MegaBytes used_{0.0};
+  std::map<VideoId, MegaBytes> cached_;
+  std::map<VideoId, std::uint64_t> frequency_;  // of all titles ever seen
+};
+
+/// Caches nothing: every request goes to the network.
+class NoTitleCache final : public TitleCache {
+ public:
+  bool on_request(VideoId, MegaBytes) override { return false; }
+  [[nodiscard]] bool contains(VideoId) const override { return false; }
+  [[nodiscard]] const char* name() const override { return "none"; }
+};
+
+}  // namespace vod::baselines

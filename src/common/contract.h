@@ -1,0 +1,24 @@
+// Contract-checking helpers.
+//
+// Preconditions throw std::invalid_argument, lookups that must succeed throw
+// std::out_of_range, and internal invariants throw std::logic_error.  These
+// are programmer errors, not recoverable conditions, so exceptions (rather
+// than status returns) keep call sites clean per the Core Guidelines (I.6).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vod {
+
+/// Throws std::invalid_argument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+/// Throws std::logic_error with `message` unless `condition` holds.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw std::logic_error(message);
+}
+
+}  // namespace vod

@@ -1,0 +1,42 @@
+#include "common/csv.h"
+
+#include <stdexcept>
+
+namespace vod {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : width_(header.size()) {
+  if (header.empty()) {
+    throw std::invalid_argument("CsvWriter: empty header");
+  }
+  append_line(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::append_line(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ += ',';
+    out_ += escape(cells[i]);
+  }
+  out_ += '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != width_) {
+    throw std::invalid_argument("CsvWriter::add_row: width mismatch");
+  }
+  append_line(cells);
+  ++rows_;
+}
+
+}  // namespace vod

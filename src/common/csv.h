@@ -1,0 +1,31 @@
+// Minimal CSV emission for exporting bench/report data to other tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vod {
+
+/// Builds RFC-4180-style CSV text: comma separated, fields containing
+/// commas/quotes/newlines are double-quoted with quote doubling.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one row; must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_; }
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  void append_line(const std::vector<std::string>& cells);
+
+  std::size_t width_;
+  std::size_t rows_ = 0;
+  std::string out_;
+};
+
+}  // namespace vod

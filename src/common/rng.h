@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// Every stochastic component takes an explicit Rng so runs are reproducible
+// from a single seed; nothing in the library reads global entropy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace vod {
+
+/// A seeded pseudo-random source with the sampling helpers the workloads
+/// need.  Copyable (copies fork the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    if (!(lo < hi)) {
+      throw std::invalid_argument("Rng::uniform: empty range");
+    }
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) {
+      throw std::invalid_argument("Rng::uniform_int: empty range");
+    }
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Exponential with the given rate (events per second).
+  double exponential(double rate) {
+    if (rate <= 0.0) {
+      throw std::invalid_argument("Rng::exponential: rate must be positive");
+    }
+    return std::exponential_distribution<double>{rate}(engine_);
+  }
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev) {
+    if (stddev < 0.0) {
+      throw std::invalid_argument("Rng::normal: stddev must be >= 0");
+    }
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
+    }
+    return std::bernoulli_distribution{p}(engine_);
+  }
+
+  /// Index drawn from explicit (unnormalized, non-negative) weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    if (weights.empty()) {
+      throw std::invalid_argument("Rng::weighted_index: no weights");
+    }
+    std::discrete_distribution<std::size_t> dist(weights.begin(),
+                                                 weights.end());
+    return dist(engine_);
+  }
+
+  /// Access to the raw engine for std distributions not wrapped above.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace vod

@@ -1,0 +1,52 @@
+// Simulation time.
+//
+// All simulated clocks in the library use SimTime: a strongly-typed count of
+// seconds since the start of the simulated scenario.  Wall-clock time never
+// appears inside the simulation.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+
+namespace vod {
+
+/// A point in simulated time, in seconds from scenario start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  /// Durations are plain doubles (seconds); points shift by durations.
+  friend constexpr SimTime operator+(SimTime t, double seconds) {
+    return SimTime{t.seconds_ + seconds};
+  }
+  friend constexpr SimTime operator-(SimTime t, double seconds) {
+    return SimTime{t.seconds_ - seconds};
+  }
+  /// Difference of two points is a duration in seconds.
+  friend constexpr double operator-(SimTime a, SimTime b) {
+    return a.seconds_ - b.seconds_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.seconds_ << "s";
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+constexpr SimTime from_minutes(double minutes) {
+  return SimTime{minutes * 60.0};
+}
+constexpr SimTime from_hours(double hours) { return SimTime{hours * 3600.0}; }
+
+constexpr double minutes(double m) { return m * 60.0; }
+constexpr double hours(double h) { return h * 3600.0; }
+
+}  // namespace vod

@@ -1,0 +1,85 @@
+// Small statistics helpers for the benches and reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace vod {
+
+/// Streaming accumulator: count / mean / min / max / stddev without
+/// storing samples (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double value) {
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = count_ == 1 ? value : std::min(min_, value);
+    max_ = count_ == 1 ? value : std::max(max_, value);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  /// Population variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores samples for exact quantiles (benches have small sample counts).
+class SampleSet {
+ public:
+  void add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Quantile by nearest-rank; q in [0, 1].  Throws when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) {
+      throw std::logic_error("SampleSet::quantile: no samples");
+    }
+    if (q < 0.0 || q > 1.0) {
+      throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
+    }
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    return samples_[rank == 0 ? 0 : rank - 1];
+  }
+
+  [[nodiscard]] double median() const { return quantile(0.5); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace vod

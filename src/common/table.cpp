@@ -1,0 +1,51 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vod {
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: more cells than headers");
+  }
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+    }
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << render_row(headers_) << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) out << "-+-";
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) out << render_row(row) << '\n';
+  return out.str();
+}
+
+}  // namespace vod

@@ -1,0 +1,42 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables; TextTable gives
+// them a single consistent, aligned output format.
+#pragma once
+
+#include <cstddef>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vod {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Appends one row; it may have fewer cells than there are headers
+  /// (missing cells render empty) but not more.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` significant decimals.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders the table with a header rule, e.g.
+  ///   Link            | 8am   | 10am
+  ///   ----------------+-------+------
+  ///   Patra-Athens    | 0.083 | 0.632
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vod

@@ -1,0 +1,138 @@
+// Strongly-typed physical units.
+//
+// The paper's own tables mix "kb", "Mb", "bits" and percentages; reproducing
+// it correctly demands that bandwidth (megabits per second) and storage
+// (megabytes) never silently convert into one another.  Each unit is a thin
+// wrapper over double with only the physically meaningful operations.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+#include <ostream>
+#include <stdexcept>
+
+namespace vod {
+
+/// Bandwidth in megabits per second.
+class Mbps {
+ public:
+  constexpr Mbps() = default;
+  constexpr explicit Mbps(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double kilobits_per_sec() const {
+    return value_ * 1000.0;
+  }
+  [[nodiscard]] constexpr double bits_per_sec() const {
+    return value_ * 1e6;
+  }
+
+  friend constexpr auto operator<=>(Mbps, Mbps) = default;
+
+  constexpr Mbps& operator+=(Mbps other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Mbps& operator-=(Mbps other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  friend constexpr Mbps operator+(Mbps a, Mbps b) {
+    return Mbps{a.value_ + b.value_};
+  }
+  friend constexpr Mbps operator-(Mbps a, Mbps b) {
+    return Mbps{a.value_ - b.value_};
+  }
+  friend constexpr Mbps operator*(Mbps a, double s) {
+    return Mbps{a.value_ * s};
+  }
+  friend constexpr Mbps operator*(double s, Mbps a) {
+    return Mbps{a.value_ * s};
+  }
+  friend constexpr Mbps operator/(Mbps a, double s) {
+    return Mbps{a.value_ / s};
+  }
+  /// Bandwidth ratio (e.g. utilization) is dimensionless.
+  friend constexpr double operator/(Mbps a, Mbps b) {
+    return a.value_ / b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Mbps v) {
+    return os << v.value_ << " Mbps";
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Mbps kilobits_per_sec(double kbps) { return Mbps{kbps / 1000.0}; }
+constexpr Mbps bits_per_sec(double bps) { return Mbps{bps / 1e6}; }
+
+/// Storage size in megabytes.
+class MegaBytes {
+ public:
+  constexpr MegaBytes() = default;
+  constexpr explicit MegaBytes(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double megabits() const { return value_ * 8.0; }
+
+  friend constexpr auto operator<=>(MegaBytes, MegaBytes) = default;
+
+  constexpr MegaBytes& operator+=(MegaBytes other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr MegaBytes& operator-=(MegaBytes other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  friend constexpr MegaBytes operator+(MegaBytes a, MegaBytes b) {
+    return MegaBytes{a.value_ + b.value_};
+  }
+  friend constexpr MegaBytes operator-(MegaBytes a, MegaBytes b) {
+    return MegaBytes{a.value_ - b.value_};
+  }
+  friend constexpr MegaBytes operator*(MegaBytes a, double s) {
+    return MegaBytes{a.value_ * s};
+  }
+  friend constexpr MegaBytes operator*(double s, MegaBytes a) {
+    return MegaBytes{a.value_ * s};
+  }
+  friend constexpr MegaBytes operator/(MegaBytes a, double s) {
+    return MegaBytes{a.value_ / s};
+  }
+  friend constexpr double operator/(MegaBytes a, MegaBytes b) {
+    return a.value_ / b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, MegaBytes v) {
+    return os << v.value_ << " MB";
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr MegaBytes gigabytes(double gb) { return MegaBytes{gb * 1024.0}; }
+
+/// Seconds needed to move `size` over a channel of rate `rate`.
+/// Throws std::invalid_argument for non-positive rates.
+inline double transfer_seconds(MegaBytes size, Mbps rate) {
+  if (rate.value() <= 0.0) {
+    throw std::invalid_argument("transfer_seconds: rate must be positive");
+  }
+  return size.megabits() / rate.value();
+}
+
+/// Rate needed to move `size` in `seconds`.
+inline Mbps rate_for_transfer(MegaBytes size, double seconds) {
+  if (seconds <= 0.0) {
+    throw std::invalid_argument(
+        "rate_for_transfer: duration must be positive");
+  }
+  return Mbps{size.megabits() / seconds};
+}
+
+}  // namespace vod

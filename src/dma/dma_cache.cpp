@@ -1,0 +1,101 @@
+#include "dma/dma_cache.h"
+
+#include <stdexcept>
+
+namespace vod::dma {
+
+DmaCache::DmaCache(storage::DiskArray& disks, DmaOptions options,
+                   DmaCallbacks callbacks)
+    : disks_(disks), options_(options), callbacks_(std::move(callbacks)) {}
+
+std::uint64_t DmaCache::points(VideoId video) const {
+  const auto it = points_.find(video);
+  return it == points_.end() ? 0 : it->second;
+}
+
+std::optional<VideoId> DmaCache::least_popular_cached() const {
+  std::optional<VideoId> victim;
+  std::uint64_t fewest = 0;
+  for (const VideoId video : disks_.stored_videos()) {
+    const std::uint64_t p = points(video);
+    if (!victim || p < fewest) {
+      victim = video;
+      fewest = p;
+    }
+  }
+  return victim;
+}
+
+bool DmaCache::try_store(VideoId video, MegaBytes size) {
+  const auto placement = disks_.store(video, size);
+  if (!placement) return false;
+  ++stores_;
+  if (callbacks_.on_admit) callbacks_.on_admit(video);
+  return true;
+}
+
+void DmaCache::evict(VideoId victim) {
+  disks_.remove(victim);
+  ++evictions_;
+  if (callbacks_.on_evict) callbacks_.on_evict(victim);
+}
+
+std::vector<VideoId> DmaCache::handle_disk_failure(std::size_t slot) {
+  std::vector<VideoId> lost = disks_.fail_disk(slot);
+  for (const VideoId video : lost) {
+    ++evictions_;
+    if (callbacks_.on_evict) callbacks_.on_evict(video);
+  }
+  return lost;
+}
+
+DmaOutcome DmaCache::on_request(VideoId video, MegaBytes size) {
+  if (!video.valid()) {
+    throw std::invalid_argument("DmaCache::on_request: invalid video");
+  }
+  if (size.value() <= 0.0) {
+    throw std::invalid_argument("DmaCache::on_request: size must be > 0");
+  }
+  ++requests_;
+
+  // "IF (Video is already on disk) THEN give a point"
+  if (cached(video)) {
+    ++points_[video];
+    ++hits_;
+    return DmaOutcome::kHit;
+  }
+
+  // Admission gate (text variant); with threshold 0 this is Figure 2: an
+  // uncached title may be written on its very first request.
+  if (options_.admission_threshold > 0) {
+    ++points_[video];
+    if (points_[video] <= options_.admission_threshold) {
+      return DmaOutcome::kPointedOnly;
+    }
+    if (disks_.can_tolerate(size) && try_store(video, size)) {
+      return DmaOutcome::kStored;
+    }
+  } else {
+    // "IF (Disks can tolerate the Video) THEN write Video to Disks"
+    if (disks_.can_tolerate(size) && try_store(video, size)) {
+      return DmaOutcome::kStored;
+    }
+    // "ELSE give a point to video"
+    ++points_[video];
+  }
+
+  // "IF (Video's points > Least popular on disk Video's points) THEN
+  //  delete Least Popular Video; IF tolerable THEN write"
+  for (;;) {
+    const auto victim = least_popular_cached();
+    if (!victim || points(video) <= points(*victim)) break;
+    evict(*victim);
+    if (disks_.can_tolerate(size) && try_store(video, size)) {
+      return DmaOutcome::kStored;
+    }
+    if (!options_.multi_evict) break;  // Figure 2: one victim per request
+  }
+  return DmaOutcome::kPointedOnly;
+}
+
+}  // namespace vod::dma

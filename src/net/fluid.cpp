@@ -1,0 +1,235 @@
+#include "net/fluid.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vod::net {
+
+FluidNetwork::FluidNetwork(const Topology& topology,
+                           const TrafficModel& traffic)
+    : topology_(topology), traffic_(traffic) {}
+
+void FluidNetwork::set_change_hooks(std::function<void()> pre,
+                                    std::function<void()> post) {
+  pre_change_hook_ = std::move(pre);
+  post_change_hook_ = std::move(post);
+}
+
+void FluidNetwork::set_time(SimTime t) {
+  if (t < now_) {
+    throw std::invalid_argument("FluidNetwork::set_time: time went backward");
+  }
+  if (t == now_) return;
+  pre_change();
+  now_ = t;
+  reallocate();
+  post_change();
+}
+
+FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
+  if (rate_cap.value() <= 0.0) {
+    throw std::invalid_argument(
+        "FluidNetwork::start_flow: cap must be positive");
+  }
+  for (const LinkId link : path) {
+    if (!topology_.has_link(link)) {
+      throw std::invalid_argument(
+          "FluidNetwork::start_flow: unknown link in path");
+    }
+  }
+  pre_change();
+  const FlowId id{next_flow_++};
+  flows_.emplace(id, Flow{std::move(path), rate_cap, Mbps{0.0}});
+  reallocate();
+  post_change();
+  return id;
+}
+
+void FluidNetwork::stop_flow(FlowId flow) {
+  if (!flows_.contains(flow)) {
+    throw std::out_of_range("FluidNetwork::stop_flow: unknown flow");
+  }
+  pre_change();
+  flows_.erase(flow);
+  reallocate();
+  post_change();
+}
+
+Mbps FluidNetwork::flow_rate(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    throw std::out_of_range("FluidNetwork::flow_rate: unknown flow");
+  }
+  return it->second.rate;
+}
+
+const std::vector<LinkId>& FluidNetwork::flow_path(FlowId flow) const {
+  const auto it = flows_.find(flow);
+  if (it == flows_.end()) {
+    throw std::out_of_range("FluidNetwork::flow_path: unknown flow");
+  }
+  return it->second.path;
+}
+
+void FluidNetwork::set_link_up(LinkId link, bool up) {
+  if (!topology_.has_link(link)) {
+    throw std::out_of_range("FluidNetwork::set_link_up: unknown link");
+  }
+  if (link_down_.size() <= link.value()) {
+    link_down_.resize(topology_.link_count(), false);
+  }
+  if (link_down_[link.value()] == !up) return;  // no state change
+  pre_change();
+  link_down_[link.value()] = !up;
+  reallocate();
+  post_change();
+}
+
+bool FluidNetwork::link_up(LinkId link) const {
+  if (!topology_.has_link(link)) {
+    throw std::out_of_range("FluidNetwork::link_up: unknown link");
+  }
+  return link.value() >= link_down_.size() || !link_down_[link.value()];
+}
+
+Mbps FluidNetwork::background(LinkId link) const {
+  if (!topology_.has_link(link)) {
+    throw std::out_of_range("FluidNetwork::background: unknown link");
+  }
+  if (!link_up(link)) return Mbps{0.0};
+  // Background never exceeds the link's capacity: the trace may carry the
+  // paper's raw counters, but physics caps usage at the line rate.
+  const Mbps raw = traffic_.background_load(link, now_);
+  return std::min(raw, topology_.link(link).capacity);
+}
+
+Mbps FluidNetwork::used_bandwidth(LinkId link) const {
+  Mbps used = background(link);
+  for (const auto& [id, flow] : flows_) {
+    for (const LinkId on_path : flow.path) {
+      if (on_path == link) {
+        used += flow.rate;
+        break;
+      }
+    }
+  }
+  return std::min(used, topology_.link(link).capacity);
+}
+
+double FluidNetwork::utilization(LinkId link) const {
+  const double u =
+      used_bandwidth(link) / topology_.link(link).capacity;
+  return std::clamp(u, 0.0, 1.0);
+}
+
+void FluidNetwork::reallocate() {
+  // Progressive filling: grow every unfrozen flow's rate uniformly until a
+  // flow hits its cap or a link exhausts its residual capacity; freeze and
+  // repeat.  Produces the max–min fair allocation subject to rate caps.
+  std::vector<double> residual(topology_.link_count());
+  for (std::size_t l = 0; l < residual.size(); ++l) {
+    const LinkId link{static_cast<LinkId::underlying_type>(l)};
+    residual[l] =
+        link_up(link)
+            ? std::max(0.0, (topology_.link(link).capacity -
+                             background(link)).value())
+            : 0.0;
+  }
+
+  struct Active {
+    Flow* flow;
+    double rate = 0.0;
+    bool frozen = false;
+  };
+  std::vector<Active> active;
+  active.reserve(flows_.size());
+  // Deterministic order: by flow id.
+  std::vector<FlowId> order;
+  order.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) order.push_back(id);
+  std::sort(order.begin(), order.end());
+  for (const FlowId id : order) active.push_back(Active{&flows_.at(id)});
+
+  // Flows with empty paths are purely local: they get their cap outright.
+  for (Active& a : active) {
+    if (a.flow->path.empty()) {
+      a.rate = a.flow->cap.value();
+      a.frozen = true;
+    }
+  }
+
+  auto unfrozen_on = [&](std::size_t l) {
+    int count = 0;
+    for (const Active& a : active) {
+      if (a.frozen) continue;
+      for (const LinkId link : a.flow->path) {
+        if (link.value() == l) {
+          ++count;
+          break;
+        }
+      }
+    }
+    return count;
+  };
+
+  for (;;) {
+    bool any_unfrozen = false;
+    for (const Active& a : active) any_unfrozen |= !a.frozen;
+    if (!any_unfrozen) break;
+
+    // Largest uniform increment no constraint can absorb less of.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < residual.size(); ++l) {
+      const int n = unfrozen_on(l);
+      if (n > 0) delta = std::min(delta, residual[l] / n);
+    }
+    for (const Active& a : active) {
+      if (!a.frozen) delta = std::min(delta, a.flow->cap.value() - a.rate);
+    }
+
+    if (delta > 0.0) {
+      for (Active& a : active) {
+        if (!a.frozen) a.rate += delta;
+      }
+      for (std::size_t l = 0; l < residual.size(); ++l) {
+        const int n = unfrozen_on(l);
+        residual[l] -= delta * n;
+        residual[l] = std::max(residual[l], 0.0);
+      }
+    }
+
+    // Freeze flows at their cap or on exhausted links.
+    constexpr double kEps = 1e-12;
+    bool froze = false;
+    for (Active& a : active) {
+      if (a.frozen) continue;
+      if (a.rate >= a.flow->cap.value() - kEps) {
+        a.frozen = true;
+        froze = true;
+        continue;
+      }
+      for (const LinkId link : a.flow->path) {
+        if (residual[link.value()] <= kEps) {
+          a.frozen = true;
+          froze = true;
+          break;
+        }
+      }
+    }
+    if (!froze) break;  // nothing limits the remaining flows (shouldn't occur)
+  }
+
+  for (Active& a : active) {
+    // Flows crossing a down link are truly stuck (rate 0); everyone else
+    // gets at least the trickle floor.
+    bool severed = false;
+    for (const LinkId link : a.flow->path) {
+      if (!link_up(link)) severed = true;
+    }
+    a.flow->rate = severed ? Mbps{0.0}
+                           : std::max(Mbps{a.rate}, kMinFlowRate);
+  }
+}
+
+}  // namespace vod::net

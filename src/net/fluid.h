@@ -1,0 +1,115 @@
+// Fluid-flow bandwidth model.
+//
+// VoD transfers are modelled as fluid flows: each active flow follows a
+// fixed link path and receives a max–min fair share of whatever capacity the
+// background (non-VoD) traffic leaves free on every link it crosses, further
+// limited by its own rate cap (the title's encoding bitrate or a server's
+// NIC).  This is the standard abstraction for bandwidth-arithmetic studies —
+// and the paper's evaluation is exactly bandwidth arithmetic.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace vod::net {
+
+/// Minimum rate any active flow is granted even on a saturated path, so
+/// transfers degrade to "very slow" rather than "stuck forever" (a real TCP
+/// flow on a congested link still trickles).
+inline constexpr Mbps kMinFlowRate{1e-3};
+
+/// The live bandwidth state of the network: background load from a
+/// TrafficModel plus our own flows, shared max–min fairly.
+///
+/// Flow rates are piecewise constant: they change only when the network
+/// mutates (time moves, flows start/stop, links fail/recover).  Components
+/// that integrate rates over time (TransferManager) register change hooks
+/// so they can settle progress at the old rates before a mutation and
+/// re-plan after it.
+class FluidNetwork {
+ public:
+  /// Both references must outlive the network.
+  FluidNetwork(const Topology& topology, const TrafficModel& traffic);
+
+  /// `pre` runs before any rate-affecting mutation (old rates still in
+  /// force); `post` runs after it (new rates in force).  One subscriber —
+  /// the transfer manager — is sufficient for this library.
+  void set_change_hooks(std::function<void()> pre, std::function<void()> post);
+
+  /// Moves the background traffic clock; flow shares are re-solved.
+  void set_time(SimTime t);
+  [[nodiscard]] SimTime time() const { return now_; }
+
+  /// Marks a link up or down (fiber cut, router crash).  Flows crossing a
+  /// down link drop to zero rate until it recovers; background traffic on
+  /// it reads as zero.
+  void set_link_up(LinkId link, bool up);
+  [[nodiscard]] bool link_up(LinkId link) const;
+
+  /// Starts a flow across `path` (links in order; may be empty for a purely
+  /// local transfer, which then runs at `rate_cap`).  Every link must exist.
+  /// `rate_cap` must be positive.
+  FlowId start_flow(std::vector<LinkId> path, Mbps rate_cap);
+
+  /// Removes a flow; throws std::out_of_range if unknown.
+  void stop_flow(FlowId flow);
+
+  /// Current fair-share rate of a flow (at least kMinFlowRate).
+  [[nodiscard]] Mbps flow_rate(FlowId flow) const;
+
+  [[nodiscard]] const std::vector<LinkId>& flow_path(FlowId flow) const;
+
+  /// Background-only load on a link at the current time.
+  [[nodiscard]] Mbps background(LinkId link) const;
+
+  /// Background plus all flow shares crossing the link.
+  [[nodiscard]] Mbps used_bandwidth(LinkId link) const;
+
+  /// used / capacity, clamped to [0, 1].
+  [[nodiscard]] double utilization(LinkId link) const;
+
+  [[nodiscard]] std::size_t active_flow_count() const {
+    return flows_.size();
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  /// Next instant after `t` when background traffic shifts (see
+  /// TrafficModel::next_change_after).
+  [[nodiscard]] SimTime next_traffic_change(SimTime t) const {
+    return traffic_.next_change_after(t);
+  }
+
+ private:
+  struct Flow {
+    std::vector<LinkId> path;
+    Mbps cap;
+    Mbps rate;
+  };
+
+  void reallocate();
+  void pre_change() const {
+    if (pre_change_hook_) pre_change_hook_();
+  }
+  void post_change() const {
+    if (post_change_hook_) post_change_hook_();
+  }
+
+  std::function<void()> pre_change_hook_;
+  std::function<void()> post_change_hook_;
+  const Topology& topology_;
+  const TrafficModel& traffic_;
+  SimTime now_{0.0};
+  std::unordered_map<FlowId, Flow> flows_;
+  std::vector<bool> link_down_;  // indexed by link id; default all up
+  FlowId::underlying_type next_flow_ = 0;
+};
+
+}  // namespace vod::net

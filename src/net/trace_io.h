@@ -1,0 +1,36 @@
+// Loading background-traffic traces from CSV.
+//
+// Lets users drive the simulator with their own SNMP exports, the way the
+// paper drove its case study with GRNET's counters.  Format (header
+// required):
+//
+//   link,time_s,used_mbps
+//   Patra-Athens,28800,0.2
+//   Patra-Athens,36000,1.82
+//   ...
+//
+// `link` is the topology link name; rows per link must be time-ascending
+// (TraceTraffic's step semantics apply).
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace vod::net {
+
+/// Parses CSV text into a TraceTraffic bound to `topology`'s link names.
+/// Throws std::invalid_argument with a line number on malformed input or
+/// unknown link names.
+TraceTraffic load_trace_csv(const std::string& csv_text,
+                            const Topology& topology);
+
+/// Serializes a sampling of `traffic` back to the same CSV format: one row
+/// per link per sample time.  Useful for exporting synthetic (e.g.
+/// diurnal) traces to feed other tools or re-load later.
+std::string save_trace_csv(const TrafficModel& traffic,
+                           const Topology& topology,
+                           const std::vector<SimTime>& sample_times);
+
+}  // namespace vod::net

@@ -1,0 +1,150 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace vod::net {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+}
+
+SimTime TrafficModel::next_change_after(SimTime) const {
+  return SimTime{kInfinity};
+}
+
+void ConstantTraffic::set_load(LinkId link, Mbps load) {
+  if (!link.valid()) {
+    throw std::invalid_argument("ConstantTraffic: invalid link");
+  }
+  if (load.value() < 0.0) {
+    throw std::invalid_argument("ConstantTraffic: negative load");
+  }
+  loads_[link] = load;
+}
+
+Mbps ConstantTraffic::background_load(LinkId link, SimTime) const {
+  const auto it = loads_.find(link);
+  return it == loads_.end() ? Mbps{0.0} : it->second;
+}
+
+void TraceTraffic::add_sample(LinkId link, SimTime t, Mbps load) {
+  if (!link.valid()) {
+    throw std::invalid_argument("TraceTraffic: invalid link");
+  }
+  if (load.value() < 0.0) {
+    throw std::invalid_argument("TraceTraffic: negative load");
+  }
+  auto& series = samples_[link];
+  if (!series.empty() && !(series.back().first < t)) {
+    throw std::invalid_argument(
+        "TraceTraffic: samples must be strictly increasing in time");
+  }
+  series.emplace_back(t, load);
+}
+
+Mbps TraceTraffic::background_load(LinkId link, SimTime t) const {
+  const auto it = samples_.find(link);
+  if (it == samples_.end() || it->second.empty()) return Mbps{0.0};
+  const auto& series = it->second;
+  // Step interpolation: value of the latest sample at or before t; before
+  // the first sample the load is the first sample's value (the trace is a
+  // day-long snapshot, not a ramp from zero).
+  auto after = std::upper_bound(
+      series.begin(), series.end(), t,
+      [](SimTime time, const auto& sample) { return time < sample.first; });
+  if (after == series.begin()) return series.front().second;
+  return std::prev(after)->second;
+}
+
+SimTime TraceTraffic::next_change_after(SimTime t) const {
+  double best = kInfinity;
+  for (const auto& [link, series] : samples_) {
+    auto after = std::upper_bound(
+        series.begin(), series.end(), t,
+        [](SimTime time, const auto& sample) { return time < sample.first; });
+    if (after != series.end()) {
+      best = std::min(best, after->first.seconds());
+    }
+  }
+  return SimTime{best};
+}
+
+PeriodicTraffic::PeriodicTraffic(const TrafficModel& inner,
+                                 double period_seconds)
+    : inner_(inner), period_(period_seconds) {
+  if (period_seconds <= 0.0) {
+    throw std::invalid_argument("PeriodicTraffic: period must be positive");
+  }
+}
+
+Mbps PeriodicTraffic::background_load(LinkId link, SimTime t) const {
+  const double wrapped = std::fmod(t.seconds(), period_);
+  return inner_.background_load(link, SimTime{wrapped});
+}
+
+SimTime PeriodicTraffic::next_change_after(SimTime t) const {
+  const double cycle_start = std::floor(t.seconds() / period_) * period_;
+  const double wrapped = t.seconds() - cycle_start;
+  const SimTime inner_next = inner_.next_change_after(SimTime{wrapped});
+  if (inner_next.seconds() < period_) {
+    return SimTime{cycle_start + inner_next.seconds()};
+  }
+  // Nothing more this cycle: the next change is the wrap itself (the
+  // inner model's earliest change, next period).
+  const SimTime first = inner_.next_change_after(SimTime{-1.0});
+  const double offset =
+      first.seconds() < period_ && first.seconds() >= 0.0
+          ? first.seconds()
+          : 0.0;
+  return SimTime{cycle_start + period_ + offset};
+}
+
+DiurnalTraffic::DiurnalTraffic(double peak_hour) : peak_hour_(peak_hour) {
+  if (peak_hour < 0.0 || peak_hour >= 24.0) {
+    throw std::invalid_argument("DiurnalTraffic: peak_hour outside [0,24)");
+  }
+}
+
+void DiurnalTraffic::set_shape(LinkId link, LinkShape shape) {
+  if (!link.valid()) {
+    throw std::invalid_argument("DiurnalTraffic: invalid link");
+  }
+  if (shape.capacity.value() <= 0.0) {
+    throw std::invalid_argument("DiurnalTraffic: capacity must be positive");
+  }
+  if (shape.base_fraction < 0.0 || shape.peak_fraction > 1.0 ||
+      shape.base_fraction > shape.peak_fraction) {
+    throw std::invalid_argument(
+        "DiurnalTraffic: need 0 <= base <= peak <= 1");
+  }
+  shapes_[link] = shape;
+}
+
+Mbps DiurnalTraffic::background_load(LinkId link, SimTime t) const {
+  const auto it = shapes_.find(link);
+  if (it == shapes_.end()) return Mbps{0.0};
+  const LinkShape& shape = it->second;
+  const double hour = std::fmod(t.seconds() / 3600.0, 24.0);
+  // Raised cosine, maximal at peak_hour_.
+  const double phase =
+      std::cos((hour - peak_hour_) / 24.0 * 2.0 * std::numbers::pi);
+  const double weight = 0.5 * (1.0 + phase);  // in [0,1], 1 at the peak
+  const double fraction =
+      shape.base_fraction +
+      (shape.peak_fraction - shape.base_fraction) * weight;
+  return shape.capacity * fraction;
+}
+
+SimTime DiurnalTraffic::next_change_after(SimTime t) const {
+  if (shapes_.empty()) return SimTime{kInfinity};
+  // The curve changes continuously; report a 60 s quantization so consumers
+  // refresh about once a simulated minute (the SNMP cadence).
+  const double next = (std::floor(t.seconds() / 60.0) + 1.0) * 60.0;
+  return SimTime{next};
+}
+
+}  // namespace vod::net

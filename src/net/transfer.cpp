@@ -1,0 +1,155 @@
+#include "net/transfer.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace vod::net {
+
+namespace {
+// Remaining sizes at or below this are "done" (guards float drift).
+constexpr double kDoneEpsilonMb = 1e-9;
+}  // namespace
+
+TransferManager::TransferManager(sim::Simulation& sim, FluidNetwork& network)
+    : sim_(sim), network_(network) {
+  network_.set_change_hooks([this] { on_network_pre_change(); },
+                            [this] { on_network_post_change(); });
+}
+
+TransferManager::~TransferManager() {
+  network_.set_change_hooks({}, {});
+  if (pending_.valid()) sim_.queue().cancel(pending_);
+}
+
+void TransferManager::on_network_pre_change() {
+  if (busy_depth_ > 0) return;
+  settle_bytes(sim_.now());
+}
+
+void TransferManager::on_network_post_change() {
+  if (busy_depth_ > 0) return;
+  const BusyScope guard{busy_depth_};
+  complete_finished(sim_.now());
+  reschedule(sim_.now());
+}
+
+FlowId TransferManager::start_transfer(std::vector<LinkId> path,
+                                       MegaBytes size, Mbps rate_cap,
+                                       CompletionCallback on_complete) {
+  if (size.value() <= 0.0) {
+    throw std::invalid_argument(
+        "TransferManager::start_transfer: size must be positive");
+  }
+  if (!on_complete) {
+    throw std::invalid_argument(
+        "TransferManager::start_transfer: empty callback");
+  }
+  const SimTime now = sim_.now();
+  const BusyScope guard{busy_depth_};
+  advance_progress(now);
+  const FlowId id = network_.start_flow(std::move(path), rate_cap);
+  transfers_.emplace(id, Transfer{size, std::move(on_complete)});
+  reschedule(now);
+  return id;
+}
+
+void TransferManager::cancel(FlowId id) {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) {
+    throw std::out_of_range("TransferManager::cancel: unknown transfer");
+  }
+  const SimTime now = sim_.now();
+  const BusyScope guard{busy_depth_};
+  advance_progress(now);
+  transfers_.erase(it);
+  network_.stop_flow(id);
+  reschedule(now);
+}
+
+MegaBytes TransferManager::remaining(FlowId id) const {
+  const auto it = transfers_.find(id);
+  if (it == transfers_.end()) {
+    throw std::out_of_range("TransferManager::remaining: unknown transfer");
+  }
+  // Report progress as of "now" without mutating state.
+  const double elapsed = sim_.now() - last_progress_;
+  const double moved_mb =
+      network_.flow_rate(id).value() * elapsed / 8.0;
+  return MegaBytes{std::max(0.0, it->second.remaining.value() - moved_mb)};
+}
+
+Mbps TransferManager::current_rate(FlowId id) const {
+  if (!transfers_.contains(id)) {
+    throw std::out_of_range("TransferManager::current_rate: unknown");
+  }
+  return network_.flow_rate(id);
+}
+
+void TransferManager::settle_bytes(SimTime now) {
+  const double elapsed = now - last_progress_;
+  if (elapsed > 0.0) {
+    for (auto& [id, transfer] : transfers_) {
+      const double moved_mb = network_.flow_rate(id).value() * elapsed / 8.0;
+      transfer.remaining =
+          MegaBytes{std::max(0.0, transfer.remaining.value() - moved_mb)};
+    }
+  }
+  last_progress_ = now;
+}
+
+void TransferManager::advance_progress(SimTime now) {
+  settle_bytes(now);
+  if (network_.time() < now) network_.set_time(now);
+}
+
+void TransferManager::complete_finished(SimTime now) {
+  for (;;) {
+    FlowId done;
+    for (const auto& [id, transfer] : transfers_) {
+      if (transfer.remaining.value() <= kDoneEpsilonMb) {
+        // Deterministic pick: lowest flow id among the finished.
+        if (!done.valid() || id < done) done = id;
+      }
+    }
+    if (!done.valid()) break;
+    CompletionCallback callback = std::move(transfers_.at(done).on_complete);
+    transfers_.erase(done);
+    network_.stop_flow(done);
+    // The callback may start/cancel transfers; state is consistent here.
+    callback(now);
+  }
+}
+
+void TransferManager::reschedule(SimTime now) {
+  if (pending_.valid()) {
+    sim_.queue().cancel(pending_);
+    pending_ = sim::EventHandle{};
+  }
+  if (transfers_.empty()) return;
+
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [id, transfer] : transfers_) {
+    const double rate = network_.flow_rate(id).value();
+    next = std::min(next,
+                    now.seconds() + transfer.remaining.megabits() / rate);
+  }
+  // Wake at background-traffic changes too, so rates stay faithful.
+  next = std::min(next, network_.next_traffic_change(now).seconds());
+
+  if (next == std::numeric_limits<double>::infinity()) return;
+  pending_ =
+      sim_.schedule_at(SimTime{next}, [this](SimTime t) { refresh(t); });
+}
+
+void TransferManager::refresh(SimTime now) {
+  pending_ = sim::EventHandle{};
+  const BusyScope guard{busy_depth_};
+  advance_progress(now);
+  complete_finished(now);
+  reschedule(now);
+}
+
+}  // namespace vod::net

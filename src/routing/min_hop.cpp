@@ -1,0 +1,53 @@
+#include "routing/min_hop.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "routing/dijkstra.h"
+
+namespace vod::routing {
+
+std::optional<Path> min_hop_path(const Graph& graph, NodeId from, NodeId to) {
+  if (!graph.has_node(from) || !graph.has_node(to)) {
+    throw std::invalid_argument("min_hop_path: node not in graph");
+  }
+  const std::size_t n = graph.node_count();
+  std::vector<int> depth(n, -1);
+  std::vector<NodeId> pred(n);
+  std::vector<LinkId> via(n);
+  std::deque<NodeId> frontier{from};
+  depth[from.value()] = 0;
+
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    // Visit neighbors in ascending node order for deterministic tie-breaks.
+    std::vector<Edge> edges = graph.neighbors(u);
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) { return a.to < b.to; });
+    for (const Edge& e : edges) {
+      if (depth[e.to.value()] == -1) {
+        depth[e.to.value()] = depth[u.value()] + 1;
+        pred[e.to.value()] = u;
+        via[e.to.value()] = e.link;
+        frontier.push_back(e.to);
+      }
+    }
+  }
+
+  if (depth[to.value()] == -1) return std::nullopt;
+  Path path;
+  path.cost = depth[to.value()];
+  for (NodeId at = to; at != from; at = pred[at.value()]) {
+    path.nodes.push_back(at);
+    path.links.push_back(via[at.value()]);
+  }
+  path.nodes.push_back(from);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+}  // namespace vod::routing

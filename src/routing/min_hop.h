@@ -1,0 +1,21 @@
+// Minimum-hop routing (baseline).
+//
+// Ignores all load information and routes over the fewest links — what a
+// plain static routing table would do.  Used by the baseline comparison
+// benches to show what the VRA's load-aware weights buy.
+#pragma once
+
+#include <optional>
+
+#include "common/ids.h"
+#include "routing/graph.h"
+#include "routing/path.h"
+
+namespace vod::routing {
+
+/// Fewest-hops path between two nodes (BFS); cost is the hop count.
+/// Ties are broken toward the lexicographically smallest node sequence so
+/// results are deterministic.  nullopt if disconnected.
+std::optional<Path> min_hop_path(const Graph& graph, NodeId from, NodeId to);
+
+}  // namespace vod::routing

@@ -1,0 +1,16 @@
+#include "routing/path.h"
+
+#include "routing/graph.h"
+
+namespace vod::routing {
+
+std::string Path::to_string(const Graph& graph) const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += graph.node_name(nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace vod::routing

@@ -1,0 +1,28 @@
+// Route representation shared by all routing algorithms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace vod::routing {
+class Graph;
+
+/// A simple path through the graph: the node sequence (source first), the
+/// links traversed (one fewer than nodes), and the total weight.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  double cost = 0.0;
+
+  [[nodiscard]] bool empty() const { return nodes.empty(); }
+  [[nodiscard]] std::size_t hop_count() const { return links.size(); }
+  [[nodiscard]] NodeId source() const { return nodes.front(); }
+  [[nodiscard]] NodeId destination() const { return nodes.back(); }
+
+  /// "U2,U1,U4" using the graph's node names (the paper's notation).
+  [[nodiscard]] std::string to_string(const Graph& graph) const;
+};
+
+}  // namespace vod::routing

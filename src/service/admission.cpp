@@ -1,0 +1,44 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace vod::service {
+
+AdmissionController::AdmissionController(db::LimitedAccessView view,
+                                         AdmissionOptions options)
+    : view_(view), options_(options) {
+  if (options.required_headroom <= 0.0) {
+    throw std::invalid_argument(
+        "AdmissionController: headroom must be positive");
+  }
+}
+
+Mbps AdmissionController::path_residual(const routing::Path& path,
+                                        NodeId home) const {
+  if (path.links.empty()) {
+    return view_.server(home).config.access_bandwidth;
+  }
+  Mbps residual{std::numeric_limits<double>::infinity()};
+  for (const LinkId link : path.links) {
+    const db::LinkRecord& record = view_.link(link);
+    if (!record.online) return Mbps{0.0};
+    const Mbps free{std::max(
+        0.0, (record.total_bandwidth - record.used_bandwidth).value())};
+    residual = std::min(residual, free);
+  }
+  return residual;
+}
+
+bool AdmissionController::admit(const vra::Decision& decision,
+                                Mbps bitrate) const {
+  if (bitrate.value() <= 0.0) {
+    throw std::invalid_argument("AdmissionController: bad bitrate");
+  }
+  if (decision.served_locally) return true;
+  const Mbps residual = path_residual(decision.path, decision.path.source());
+  return residual.value() >= options_.required_headroom * bitrate.value();
+}
+
+}  // namespace vod::service

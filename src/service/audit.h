@@ -1,0 +1,82 @@
+// Decision auditing — the operator's trace of what the routing layer did.
+//
+// AuditingPolicy decorates any ServerSelectionPolicy and records every
+// per-cluster selection (when, for whom, which server, how it was routed)
+// into a bounded ring buffer the administration module can inspect —
+// "why did that stream come from Xanthi at 4pm?" answered from data.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "sim/simulation.h"
+#include "stream/policy.h"
+
+namespace vod::service {
+
+/// One recorded selection.
+struct AuditEntry {
+  SimTime at;
+  NodeId home;
+  VideoId video;
+  std::size_t cluster_index = 0;
+  bool satisfied = false;     // false: no server could provide the title
+  NodeId server;              // valid when satisfied
+  double path_cost = 0.0;     // 0 for local serving
+  std::size_t hop_count = 0;  // 0 for local serving
+};
+
+/// Bounded ring of AuditEntry, newest last.
+class DecisionAudit {
+ public:
+  explicit DecisionAudit(std::size_t capacity = 256);
+
+  void record(AuditEntry entry);
+
+  [[nodiscard]] const std::deque<AuditEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Total recorded ever (>= entries().size()).
+  [[nodiscard]] std::size_t recorded() const { return recorded_; }
+
+  /// Renders the newest `count` entries as an aligned table (node names
+  /// resolved through `node_name`).
+  [[nodiscard]] std::string format_recent(
+      std::size_t count,
+      const std::function<std::string(NodeId)>& node_name) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t recorded_ = 0;
+  std::deque<AuditEntry> entries_;
+};
+
+/// Decorates a policy: forwards every call and records the outcome.
+class AuditingPolicy final : public stream::ServerSelectionPolicy {
+ public:
+  /// References must outlive the decorator.
+  AuditingPolicy(stream::ServerSelectionPolicy& inner, DecisionAudit& audit,
+                 const sim::Simulation& sim)
+      : inner_(inner), audit_(audit), sim_(sim) {}
+
+  [[nodiscard]] std::optional<stream::Selection> select(
+      NodeId home, VideoId video) override {
+    return select_cluster(home, video, 0);
+  }
+
+  [[nodiscard]] std::optional<stream::Selection> select_cluster(
+      NodeId home, VideoId video, std::size_t cluster_index) override;
+
+  [[nodiscard]] const char* name() const override { return inner_.name(); }
+
+ private:
+  stream::ServerSelectionPolicy& inner_;
+  DecisionAudit& audit_;
+  const sim::Simulation& sim_;
+};
+
+}  // namespace vod::service

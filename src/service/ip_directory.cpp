@@ -1,0 +1,92 @@
+#include "service/ip_directory.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace vod::service {
+
+Ipv4 Ipv4::parse(const std::string& text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size() && octets < 4) {
+    const std::size_t dot = text.find('.', pos);
+    const std::string part =
+        text.substr(pos, dot == std::string::npos ? dot : dot - pos);
+    if (part.empty() || part.size() > 3 ||
+        part.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::invalid_argument("Ipv4::parse: bad octet in '" + text + "'");
+    }
+    const int octet = std::stoi(part);
+    if (octet > 255) {
+      throw std::invalid_argument("Ipv4::parse: octet > 255 in '" + text +
+                                  "'");
+    }
+    value = (value << 8) | static_cast<std::uint32_t>(octet);
+    ++octets;
+    if (dot == std::string::npos) {
+      pos = text.size() + 1;
+      break;
+    }
+    pos = dot + 1;
+  }
+  if (octets != 4 || pos != text.size() + 1) {
+    throw std::invalid_argument("Ipv4::parse: expected a.b.c.d, got '" +
+                                text + "'");
+  }
+  return Ipv4{value};
+}
+
+std::string Ipv4::to_string() const {
+  std::ostringstream os;
+  os << ((value >> 24) & 0xff) << '.' << ((value >> 16) & 0xff) << '.'
+     << ((value >> 8) & 0xff) << '.' << (value & 0xff);
+  return os.str();
+}
+
+void IpDirectory::add_subnet(const std::string& cidr, NodeId node) {
+  if (!node.valid()) {
+    throw std::invalid_argument("IpDirectory::add_subnet: invalid node");
+  }
+  const std::size_t slash = cidr.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("IpDirectory::add_subnet: missing /prefix");
+  }
+  const Ipv4 base = Ipv4::parse(cidr.substr(0, slash));
+  const std::string prefix_text = cidr.substr(slash + 1);
+  if (prefix_text.empty() ||
+      prefix_text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("IpDirectory::add_subnet: bad prefix");
+  }
+  const int prefix = std::stoi(prefix_text);
+  if (prefix < 0 || prefix > 32) {
+    throw std::invalid_argument(
+        "IpDirectory::add_subnet: prefix outside 0..32");
+  }
+  const std::uint32_t mask =
+      prefix == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix);
+  entries_.push_back(Entry{base.value & mask, prefix, node});
+}
+
+std::optional<NodeId> IpDirectory::home_of(Ipv4 ip) const {
+  std::optional<NodeId> best;
+  int best_length = -1;
+  for (const Entry& entry : entries_) {
+    const std::uint32_t mask =
+        entry.prefix_length == 0
+            ? 0
+            : ~std::uint32_t{0} << (32 - entry.prefix_length);
+    if ((ip.value & mask) == entry.network &&
+        entry.prefix_length > best_length) {
+      best = entry.node;
+      best_length = entry.prefix_length;
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> IpDirectory::home_of(const std::string& ip) const {
+  return home_of(Ipv4::parse(ip));
+}
+
+}  // namespace vod::service

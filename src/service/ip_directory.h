@@ -1,0 +1,52 @@
+// Client IP -> home server resolution.
+//
+// Figure 5 step 1: "Get the IP address of the client placing the video
+// request; determine the server to whom the requesting user is directly
+// connected (referred to as home server) by this IP."  Each participating
+// site registers its subnets; lookup is longest-prefix match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace vod::service {
+
+/// A parsed IPv4 address.
+struct Ipv4 {
+  std::uint32_t value = 0;
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on bad input.
+  static Ipv4 parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(Ipv4, Ipv4) = default;
+};
+
+/// Longest-prefix-match table from subnets to home servers.
+class IpDirectory {
+ public:
+  /// Registers `cidr` (e.g. "150.140.0.0/16") as homed at `node`.
+  /// Overlapping subnets are allowed; the longest prefix wins at lookup.
+  void add_subnet(const std::string& cidr, NodeId node);
+
+  /// Home server of `ip`; nullopt when no subnet matches.
+  [[nodiscard]] std::optional<NodeId> home_of(const std::string& ip) const;
+  [[nodiscard]] std::optional<NodeId> home_of(Ipv4 ip) const;
+
+  [[nodiscard]] std::size_t subnet_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t network;
+    int prefix_length;
+    NodeId node;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vod::service

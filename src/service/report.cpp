@@ -1,0 +1,100 @@
+#include "service/report.h"
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace vod::service {
+
+ServiceReport build_report(const VodService& service, Mbps qos_floor) {
+  ServiceReport report;
+  report.qos_floor = qos_floor;
+  for (const SessionId id : service.session_ids()) {
+    const stream::Session& session = service.session(id);
+    const stream::SessionMetrics& m = session.metrics();
+    ++report.sessions;
+    report.total_switches += m.server_switches;
+    report.total_stall_retries += m.stall_retries;
+    report.total_rebuffer_seconds += m.rebuffer_seconds;
+    if (m.failed) {
+      ++report.failed;
+      continue;
+    }
+    if (!m.finished) {
+      ++report.in_flight;
+      continue;
+    }
+    ++report.finished;
+    report.startup_seconds.add(m.startup_delay());
+    report.download_seconds.add(*m.download_completed_at - m.requested_at);
+    const Mbps floor = qos_floor.value() > 0.0 ? qos_floor
+                                               : session.video().bitrate;
+    if (m.meets_qos_floor(floor)) ++report.qos_ok;
+  }
+  return report;
+}
+
+std::string format_report(const ServiceReport& report) {
+  TextTable table{{"metric", "value"}};
+  table.add_row({"sessions", std::to_string(report.sessions)});
+  table.add_row({"finished", std::to_string(report.finished)});
+  table.add_row({"failed", std::to_string(report.failed)});
+  table.add_row({"in flight", std::to_string(report.in_flight)});
+  if (report.finished > 0) {
+    table.add_row({"startup median (s)",
+                   TextTable::num(report.startup_seconds.median(), 1)});
+    table.add_row({"startup p95 (s)",
+                   TextTable::num(report.startup_seconds.quantile(0.95), 1)});
+    table.add_row({"download median (s)",
+                   TextTable::num(report.download_seconds.median(), 1)});
+    table.add_row(
+        {"download p95 (s)",
+         TextTable::num(report.download_seconds.quantile(0.95), 1)});
+  }
+  table.add_row({"total rebuffer (s)",
+                 TextTable::num(report.total_rebuffer_seconds, 1)});
+  table.add_row({"server switches", std::to_string(report.total_switches)});
+  table.add_row({"stall retries",
+                 std::to_string(report.total_stall_retries)});
+  std::ostringstream floor_label;
+  if (report.qos_floor.value() > 0.0) {
+    floor_label << "QoS-ok (floor " << report.qos_floor << ")";
+  } else {
+    floor_label << "QoS-ok (floor = title bitrate)";
+  }
+  table.add_row({floor_label.str(),
+                 std::to_string(report.qos_ok) + " (" +
+                     TextTable::num(100.0 * report.qos_ok_share(), 0) +
+                     "%)"});
+  return table.render();
+}
+
+std::string report_sessions_csv(const VodService& service) {
+  CsvWriter csv{{"session", "home", "title", "outcome", "startup_s",
+                 "download_s", "rebuffer_s", "switches", "stall_retries",
+                 "mean_rate_mbps"}};
+  for (const SessionId id : service.session_ids()) {
+    const stream::Session& session = service.session(id);
+    const stream::SessionMetrics& m = session.metrics();
+    const char* outcome =
+        m.failed ? "failed" : (m.finished ? "finished" : "in-flight");
+    csv.add_row({
+        std::to_string(id.value()),
+        service.topology().node_name(session.home()),
+        session.video().title,
+        outcome,
+        TextTable::num(m.startup_delay(), 3),
+        m.download_completed_at
+            ? TextTable::num(*m.download_completed_at - m.requested_at, 3)
+            : "",
+        TextTable::num(m.rebuffer_seconds, 3),
+        std::to_string(m.server_switches),
+        std::to_string(m.stall_retries),
+        TextTable::num(m.mean_delivered_rate.value(), 3),
+    });
+  }
+  return csv.str();
+}
+
+}  // namespace vod::service

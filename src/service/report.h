@@ -1,0 +1,50 @@
+// Service-level QoS reporting.
+//
+// Aggregates every session a VodService has handled into the numbers an
+// operator (or a bench) wants: completion/failure counts, startup and
+// download statistics, rebuffering, switching, and how many sessions met
+// the paper's QoS floor.  Renders as an aligned table or CSV.
+#pragma once
+
+#include <string>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "service/vod_service.h"
+
+namespace vod::service {
+
+/// The aggregate view of a service's session history.
+struct ServiceReport {
+  std::size_t sessions = 0;
+  std::size_t finished = 0;
+  std::size_t failed = 0;
+  std::size_t in_flight = 0;
+  std::size_t qos_ok = 0;     // finished sessions meeting the floor
+  Mbps qos_floor{0.0};
+
+  SampleSet startup_seconds;
+  SampleSet download_seconds;
+  double total_rebuffer_seconds = 0.0;
+  int total_switches = 0;
+  int total_stall_retries = 0;
+
+  [[nodiscard]] double qos_ok_share() const {
+    return finished > 0
+               ? static_cast<double>(qos_ok) / static_cast<double>(finished)
+               : 0.0;
+  }
+};
+
+/// Scans all sessions of `service`; `qos_floor` is the minimum decent rate
+/// (use each title's own bitrate via per-session checks when 0).
+ServiceReport build_report(const VodService& service, Mbps qos_floor);
+
+/// Human-readable summary table.
+std::string format_report(const ServiceReport& report);
+
+/// One CSV row per session: id, home, title, outcome, startup, download,
+/// rebuffer, switches, retries, mean rate.
+std::string report_sessions_csv(const VodService& service);
+
+}  // namespace vod::service

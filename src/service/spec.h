@@ -1,0 +1,65 @@
+// Declarative service initialization.
+//
+// The paper initializes the service through administrator web forms: link
+// bandwidths, the titles on each server, subnets.  This module is that data
+// path as a parseable text format, so whole deployments are described in
+// one artifact:
+//
+//   # GRNET-like deployment
+//   node athens
+//   node patra
+//   link athens patra 2          # capacity in Mbps
+//   server_defaults disks=8 disk_mb=9000
+//   cluster_mb 50
+//   snmp_interval 90
+//   dma_threshold 3            # requests before a title is cached locally
+//   parity on                  # RAID-5-style striping, every server
+//   subnet 150.140.0.0/16 patra
+//   video "big buck bunny" size_mb=700 bitrate=2
+//   place "big buck bunny" athens
+//
+// parse_service_spec() validates the whole file (unknown node names, bad
+// numbers, duplicate titles) and reports errors with line numbers;
+// initialize_from_spec() replays the catalog/subnet/placement entries onto
+// a constructed VodService.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "net/topology.h"
+#include "service/vod_service.h"
+
+namespace vod::service {
+
+/// A parsed deployment description.
+struct ServiceSpec {
+  net::Topology topology;
+  ServiceOptions options;
+
+  struct VideoEntry {
+    std::string title;
+    MegaBytes size;
+    Mbps bitrate;
+  };
+  std::vector<VideoEntry> videos;
+  /// (cidr, node name)
+  std::vector<std::pair<std::string, std::string>> subnets;
+  /// (title, node name)
+  std::vector<std::pair<std::string, std::string>> placements;
+};
+
+/// Parses the text format above; throws std::invalid_argument with
+/// "line N: ..." messages on any error.
+ServiceSpec parse_service_spec(const std::string& text);
+
+/// Registers the spec's videos, subnets and initial placements on a
+/// service that was constructed over the spec's topology and options.
+/// Returns the title -> VideoId mapping.
+std::map<std::string, VideoId> initialize_from_spec(const ServiceSpec& spec,
+                                                    VodService& service);
+
+}  // namespace vod::service

@@ -1,0 +1,296 @@
+#include "service/vod_service.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/log.h"
+
+namespace vod::service {
+
+VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
+                       net::FluidNetwork& network, ServiceOptions options,
+                       db::AdminCredential admin)
+    : sim_(sim),
+      topology_(topology),
+      network_(network),
+      options_(options),
+      admin_(std::move(admin)),
+      db_(admin_),
+      transfers_(sim, network) {
+  if (options_.server.disk_count == 0) {
+    throw std::invalid_argument("VodService: servers need at least one disk");
+  }
+  register_topology();
+  snmp_ = std::make_unique<snmp::SnmpModule>(
+      sim_, network_, db_.limited_view(admin_),
+      options_.snmp_interval_seconds);
+  vra_ = std::make_unique<vra::Vra>(topology_, db_.full_view(),
+                                    db_.limited_view(admin_),
+                                    options_.validation);
+  vra_policy_ = std::make_unique<stream::VraPolicy>(
+      *vra_, options_.vra_switch_hysteresis);
+  policy_ = vra_policy_.get();
+  if (options_.audit_capacity > 0) {
+    audit_ = std::make_unique<DecisionAudit>(options_.audit_capacity);
+    audited_policy_ = std::make_unique<AuditingPolicy>(*vra_policy_,
+                                                       *audit_, sim_);
+    policy_ = audited_policy_.get();
+  }
+}
+
+const DecisionAudit& VodService::audit() const {
+  if (!audit_) {
+    throw std::logic_error(
+        "VodService::audit: auditing disabled (audit_capacity == 0)");
+  }
+  return *audit_;
+}
+
+void VodService::register_topology() {
+  auto view_factory = [this]() { return db_.limited_view(admin_); };
+  for (std::size_t n = 0; n < topology_.node_count(); ++n) {
+    const NodeId node{static_cast<NodeId::underlying_type>(n)};
+    const auto override_it = options_.server_overrides.find(node);
+    const ServerSetup& setup = override_it != options_.server_overrides.end()
+                                   ? override_it->second
+                                   : options_.server;
+    if (setup.disk_count == 0) {
+      throw std::invalid_argument(
+          "VodService: server override needs at least one disk");
+    }
+    db::ServerConfig config;
+    config.disk_count = static_cast<int>(setup.disk_count);
+    config.disk_capacity = setup.disk_profile.capacity;
+    // The server's access bandwidth: sum of its adjacent links.
+    Mbps access{0.0};
+    for (const LinkId link : topology_.links_adjacent_to(node)) {
+      access += topology_.link(link).capacity;
+    }
+    config.access_bandwidth = access;
+    db_.register_server(node, topology_.node_name(node), config);
+
+    ServerState state;
+    state.disks = std::make_unique<storage::DiskArray>(
+        setup.disk_count, setup.disk_profile, options_.cluster_size,
+        setup.striping);
+    // DMA admissions/evictions mirror into the server's title list so the
+    // VRA (which reads the database) sees them.
+    dma::DmaCallbacks callbacks;
+    callbacks.on_admit = [node, view_factory](VideoId video) {
+      view_factory().add_title(node, video);
+    };
+    callbacks.on_evict = [node, view_factory](VideoId video) {
+      view_factory().remove_title(node, video);
+    };
+    state.cache = std::make_unique<dma::DmaCache>(
+        *state.disks, options_.dma, std::move(callbacks));
+    servers_.emplace(node, std::move(state));
+  }
+  for (const net::LinkInfo& info : topology_.links()) {
+    db_.register_link(info.id, info.name, info.capacity);
+  }
+}
+
+VideoId VodService::add_video(std::string title, MegaBytes size,
+                              Mbps bitrate) {
+  return db_.register_video(std::move(title), size, bitrate);
+}
+
+void VodService::place_initial_copy(NodeId server, VideoId video) {
+  const auto info = db_.full_view().video(video);
+  if (!info) {
+    throw std::invalid_argument("place_initial_copy: unknown video");
+  }
+  ServerState& state = servers_.at(server);
+  if (state.disks->holds(video)) return;  // already there
+  if (!state.disks->store(video, info->size)) {
+    throw std::invalid_argument(
+        "place_initial_copy: disks cannot tolerate the video");
+  }
+  db_.limited_view(admin_).add_title(server, video);
+}
+
+void VodService::start() {
+  snmp_->poll_now(sim_.now());
+  snmp_->start();
+}
+
+std::vector<db::VideoInfo> VodService::list_titles() const {
+  return db_.full_view().list_videos();
+}
+
+std::vector<db::VideoInfo> VodService::search_titles(
+    const std::string& needle) const {
+  return db_.full_view().search(needle);
+}
+
+std::optional<db::VideoInfo> VodService::find_title(
+    const std::string& title) const {
+  return db_.full_view().find_by_title(title);
+}
+
+std::vector<std::pair<db::VideoInfo, std::uint64_t>> VodService::top_titles(
+    std::size_t count) const {
+  std::vector<std::pair<db::VideoInfo, std::uint64_t>> ranked;
+  for (const db::VideoInfo& info : db_.full_view().list_videos()) {
+    std::uint64_t demand = 0;
+    for (const auto& [node, state] : servers_) {
+      demand += state.cache->points(info.id);
+    }
+    ranked.emplace_back(info, demand);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first.id < b.first.id;
+            });
+  if (ranked.size() > count) ranked.resize(count);
+  return ranked;
+}
+
+SessionId VodService::request_by_ip(const std::string& client_ip,
+                                    VideoId video,
+                                    stream::Session::DoneCallback on_done) {
+  const auto home = ips_.home_of(client_ip);
+  if (!home) {
+    throw std::invalid_argument("request_by_ip: no subnet matches " +
+                                client_ip);
+  }
+  return request_at(*home, video, std::move(on_done));
+}
+
+SessionId VodService::request_at(NodeId home, VideoId video,
+                                 stream::Session::DoneCallback on_done) {
+  const auto info = db_.full_view().video(video);
+  if (!info) {
+    throw std::invalid_argument("request_at: unknown video");
+  }
+  if (!topology_.has_node(home)) {
+    throw std::invalid_argument("request_at: unknown home node");
+  }
+
+  // DMA accounting at the home server: the request counts toward the
+  // title's popularity there and may admit (or not) a local copy.
+  servers_.at(home).cache->on_request(video, info->size);
+
+  // Coalescing: join a still-active stream of the same title to the same
+  // home if it started recently enough (the joiner shares the multicast
+  // delivery; only the leader session carries transfer state).
+  if (options_.coalesce_window_seconds > 0.0) {
+    const auto key = std::make_pair(home, video);
+    const auto batch = batches_.find(key);
+    if (batch != batches_.end()) {
+      const auto& [leader, started] = batch->second;
+      stream::Session& leader_session = *sessions_.at(leader);
+      if (leader_session.active() &&
+          sim_.now() - started <= options_.coalesce_window_seconds) {
+        ++coalesced_;
+        // The joiner's completion coincides with the leader's.
+        leader_session.add_done_callback(std::move(on_done));
+        VOD_LOG_DEBUG("service: coalesced request onto session "
+                      << leader.value());
+        return leader;
+      }
+      batches_.erase(batch);
+    }
+  }
+
+  const SessionId id{next_session_++};
+  auto session = std::make_unique<stream::Session>(
+      sim_, transfers_, *policy_, *info, home, options_.cluster_size,
+      options_.session, std::move(on_done));
+  stream::Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  if (options_.coalesce_window_seconds > 0.0) {
+    batches_[std::make_pair(home, video)] = std::make_pair(id, sim_.now());
+  }
+  ref.start();
+  VOD_LOG_INFO("service: session " << id.value() << " for video "
+                                   << info->title << " at "
+                                   << topology_.node_name(home));
+  return id;
+}
+
+VodService::AdmissionOutcome VodService::request_with_admission(
+    NodeId home, VideoId video, double headroom,
+    stream::Session::DoneCallback on_done) {
+  const auto info = db_.full_view().video(video);
+  if (!info) {
+    throw std::invalid_argument("request_with_admission: unknown video");
+  }
+  if (!topology_.has_node(home)) {
+    throw std::invalid_argument("request_with_admission: unknown home");
+  }
+  const auto decision = vra_->select_server(home, video);
+  if (!decision) {
+    // The DMA still counts the demand even when nothing can serve it.
+    servers_.at(home).cache->on_request(video, info->size);
+    return AdmissionOutcome{Admission::kNoServer, std::nullopt};
+  }
+  const AdmissionController admission{
+      db_.limited_view(admin_),
+      AdmissionOptions{.required_headroom = headroom}};
+  if (!admission.admit(*decision, info->bitrate)) {
+    servers_.at(home).cache->on_request(video, info->size);
+    ++rejected_;
+    VOD_LOG_INFO("service: rejected request for " << info->title
+                                                  << " (no QoS headroom)");
+    return AdmissionOutcome{Admission::kRejected, std::nullopt};
+  }
+  ++admitted_;
+  const SessionId id = request_at(home, video, std::move(on_done));
+  return AdmissionOutcome{Admission::kAdmitted, id};
+}
+
+db::LimitedAccessView VodService::admin_view() {
+  return db_.limited_view(admin_);
+}
+
+void VodService::set_server_online(NodeId server, bool online) {
+  admin_view().set_server_online(server, online);
+}
+
+std::vector<VideoId> VodService::fail_disk(NodeId server, std::size_t slot) {
+  const auto it = servers_.find(server);
+  if (it == servers_.end()) {
+    throw std::out_of_range("VodService::fail_disk: unknown server");
+  }
+  // The DMA reports the casualties through its eviction callback, which
+  // already removes them from the server's database entry.
+  return it->second.cache->handle_disk_failure(slot);
+}
+
+stream::Session& VodService::session(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("VodService::session: unknown session");
+  }
+  return *it->second;
+}
+
+const stream::Session& VodService::session(SessionId id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("VodService::session: unknown session");
+  }
+  return *it->second;
+}
+
+std::vector<SessionId> VodService::session_ids() const {
+  std::vector<SessionId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) out.push_back(id);
+  return out;
+}
+
+dma::DmaCache& VodService::dma_cache(NodeId server) {
+  const auto it = servers_.find(server);
+  if (it == servers_.end()) {
+    throw std::out_of_range("VodService::dma_cache: unknown server");
+  }
+  return *it->second.cache;
+}
+
+}  // namespace vod::service

@@ -1,0 +1,205 @@
+// The complete VoD service — the paper's Figure 1 wired together.
+//
+// Owns the database, one DMA cache per video server, the SNMP statistics
+// module, the VRA and the streaming machinery, and exposes the two
+// interfaces of the paper: the user-facing web module (browse/search/
+// request) and the limited-access administration module.
+//
+// Substitution note (see DESIGN.md): when the DMA admits a title at a
+// server, the copy becomes available immediately — the home server acts as
+// a store-and-forward proxy filling its cache from the stream passing
+// through it.  The admission threshold option controls how eagerly that
+// happens.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+#include "db/database.h"
+#include "dma/dma_cache.h"
+#include "net/fluid.h"
+#include "net/topology.h"
+#include "net/transfer.h"
+#include "service/admission.h"
+#include "service/audit.h"
+#include "service/ip_directory.h"
+#include "sim/simulation.h"
+#include "snmp/snmp_module.h"
+#include "storage/disk_array.h"
+#include "stream/policy.h"
+#include "stream/session.h"
+#include "vra/vra.h"
+
+namespace vod::service {
+
+/// Hardware of one video server (all servers homogeneous by default; use
+/// ServiceOptions::server_overrides per node if needed).
+struct ServerSetup {
+  std::size_t disk_count = 8;
+  storage::DiskProfile disk_profile{};
+  /// kPlain = the paper's Figure 3; kParity = the RAID-5-style
+  /// reliability extension (survives one disk failure per server).
+  storage::StripingMode striping = storage::StripingMode::kPlain;
+};
+
+/// Global service configuration.
+struct ServiceOptions {
+  /// The striping/switching unit c (MB) — common to all disks, per paper.
+  MegaBytes cluster_size{50.0};
+  /// SNMP refresh period (paper: 1–2 minutes).
+  double snmp_interval_seconds = 90.0;
+  /// Switch-hysteresis margin of the per-cluster VRA policy (0 = the
+  /// paper's always-follow-the-best behaviour; see stream::VraPolicy).
+  double vra_switch_hysteresis = 0.0;
+  /// Batching window (s): a request for a title already streaming to the
+  /// same home server within this window joins that stream instead of
+  /// opening a new one — the service-aggregation idea of the paper's
+  /// refs [10]/[14].  0 disables coalescing (paper behaviour).
+  double coalesce_window_seconds = 0.0;
+  /// Ring-buffer size of the routing decision audit (0 = auditing off).
+  std::size_t audit_capacity = 0;
+  vra::ValidationOptions validation{};
+  dma::DmaOptions dma{};
+  stream::SessionOptions session{};
+  /// Hardware defaults for every video server...
+  ServerSetup server{};
+  /// ...with optional per-node overrides (heterogeneous deployments).
+  std::map<NodeId, ServerSetup> server_overrides{};
+};
+
+/// The running service.
+class VodService {
+ public:
+  /// `topology` and `network` must outlive the service.
+  VodService(sim::Simulation& sim, const net::Topology& topology,
+             net::FluidNetwork& network, ServiceOptions options,
+             db::AdminCredential admin);
+
+  // ---- service initialization (paper section) ----
+
+  /// Registers a title; available nowhere until placed or DMA-admitted.
+  VideoId add_video(std::string title, MegaBytes size, Mbps bitrate);
+
+  /// Stores a full copy at `server` (initial seeding by the
+  /// administrators); throws if the disks cannot tolerate it.
+  void place_initial_copy(NodeId server, VideoId video);
+
+  /// Takes a first SNMP sample and starts periodic polling.
+  void start();
+
+  [[nodiscard]] IpDirectory& ip_directory() { return ips_; }
+
+  // ---- the web module (full access) ----
+
+  [[nodiscard]] std::vector<db::VideoInfo> list_titles() const;
+  [[nodiscard]] std::vector<db::VideoInfo> search_titles(
+      const std::string& needle) const;
+  [[nodiscard]] std::optional<db::VideoInfo> find_title(
+      const std::string& title) const;
+
+  /// The `count` most requested titles network-wide (DMA points summed
+  /// over every server), most popular first; ties toward lower video ids.
+  /// The web module's "most popular" shelf.
+  [[nodiscard]] std::vector<std::pair<db::VideoInfo, std::uint64_t>>
+  top_titles(std::size_t count) const;
+
+  /// Full user request path: resolve the client's home server from its IP,
+  /// run the DMA accounting at that server, then stream under VRA control.
+  /// Throws std::invalid_argument if the IP maps to no registered subnet.
+  SessionId request_by_ip(const std::string& client_ip, VideoId video,
+                          stream::Session::DoneCallback on_done = {});
+
+  /// Same, with the home server already known.
+  SessionId request_at(NodeId home, VideoId video,
+                       stream::Session::DoneCallback on_done = {});
+
+  /// Outcome of an admission-controlled request.
+  enum class Admission { kAdmitted, kRejected, kNoServer };
+  struct AdmissionOutcome {
+    Admission verdict;
+    /// Set only when admitted.
+    std::optional<SessionId> session;
+  };
+
+  /// Like request_at, but the session starts only if the VRA's chosen path
+  /// has at least `headroom` x the title's bitrate of residual bandwidth
+  /// (per the limited-access statistics).  Rejected requests still count
+  /// toward the home server's DMA popularity — a denied user asked for the
+  /// title all the same.
+  AdmissionOutcome request_with_admission(
+      NodeId home, VideoId video, double headroom = 1.0,
+      stream::Session::DoneCallback on_done = {});
+
+  [[nodiscard]] std::size_t admitted_count() const { return admitted_; }
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
+  /// Requests satisfied by joining an existing stream (coalescing).
+  [[nodiscard]] std::size_t coalesced_count() const { return coalesced_; }
+
+  // ---- the administration module (limited access) ----
+
+  /// Privileged database view (stats + config).
+  [[nodiscard]] db::LimitedAccessView admin_view();
+  void set_server_online(NodeId server, bool online);
+
+  /// Fails one disk at `server`: titles striped onto it disappear from
+  /// that server's catalog entry (the VRA immediately stops offering
+  /// them from there).  Returns the lost titles.
+  std::vector<VideoId> fail_disk(NodeId server, std::size_t slot);
+
+  /// The routing decision audit; throws std::logic_error when
+  /// ServiceOptions::audit_capacity was 0.
+  [[nodiscard]] const DecisionAudit& audit() const;
+  [[nodiscard]] snmp::SnmpModule& snmp() { return *snmp_; }
+
+  // ---- accessors ----
+
+  [[nodiscard]] const vra::Vra& vra() const { return *vra_; }
+  [[nodiscard]] stream::Session& session(SessionId id);
+  [[nodiscard]] const stream::Session& session(SessionId id) const;
+  [[nodiscard]] std::vector<SessionId> session_ids() const;
+  [[nodiscard]] dma::DmaCache& dma_cache(NodeId server);
+  [[nodiscard]] db::Database& database() { return db_; }
+  [[nodiscard]] const net::Topology& topology() const { return topology_; }
+  [[nodiscard]] net::TransferManager& transfers() { return transfers_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct ServerState {
+    std::unique_ptr<storage::DiskArray> disks;
+    std::unique_ptr<dma::DmaCache> cache;
+  };
+
+  void register_topology();
+
+  sim::Simulation& sim_;
+  const net::Topology& topology_;
+  net::FluidNetwork& network_;
+  ServiceOptions options_;
+  db::AdminCredential admin_;
+  db::Database db_;
+  net::TransferManager transfers_;
+  IpDirectory ips_;
+  std::map<NodeId, ServerState> servers_;
+  std::unique_ptr<snmp::SnmpModule> snmp_;
+  std::unique_ptr<vra::Vra> vra_;
+  std::unique_ptr<stream::VraPolicy> vra_policy_;
+  std::unique_ptr<DecisionAudit> audit_;
+  std::unique_ptr<AuditingPolicy> audited_policy_;
+  /// The policy sessions actually use (the VRA policy, possibly audited).
+  stream::ServerSelectionPolicy* policy_ = nullptr;
+  std::map<SessionId, std::unique_ptr<stream::Session>> sessions_;
+  /// Open batches: (home, video) -> (leader session, batch started at).
+  std::map<std::pair<NodeId, VideoId>, std::pair<SessionId, SimTime>>
+      batches_;
+  SessionId::underlying_type next_session_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+  std::size_t coalesced_ = 0;
+};
+
+}  // namespace vod::service

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vod::sim {
+
+EventHandle EventQueue::schedule(SimTime when, Callback callback) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time is in the past");
+  }
+  if (!callback) {
+    throw std::invalid_argument("EventQueue::schedule: empty callback");
+  }
+  const std::uint64_t sequence = next_sequence_++;
+  heap_.push(Entry{when, sequence, std::move(callback)});
+  ++live_count_;
+  return EventHandle{sequence};
+}
+
+bool EventQueue::cancel(EventHandle handle) {
+  if (!handle.valid() || handle.sequence_ >= next_sequence_) return false;
+  // Cancellation is lazy: remember the sequence and skip it when popped.
+  const bool inserted = cancelled_.insert(handle.sequence_).second;
+  if (!inserted) return false;
+  if (live_count_ == 0) {
+    cancelled_.erase(handle.sequence_);
+    return false;
+  }
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().sequence);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<SimTime> EventQueue::next_time() const {
+  // const_cast-free variant: scan past cancelled entries without popping.
+  // The heap top is the only candidate; cancelled tops are rare and cheap to
+  // handle in run_next, so here we conservatively report the top entry's
+  // time after skipping cancelled ones via a copy of the check.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_head();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().when;
+}
+
+bool EventQueue::run_next() {
+  drop_cancelled_head();
+  if (heap_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  --live_count_;
+  now_ = entry.when;
+  entry.callback(now_);
+  return true;
+}
+
+bool EventQueue::empty() const { return live_count_ == 0; }
+
+std::size_t EventQueue::pending_count() const { return live_count_; }
+
+}  // namespace vod::sim

@@ -1,0 +1,84 @@
+// Discrete-event queue.
+//
+// A min-heap of (time, sequence, callback).  The sequence number makes
+// same-time events fire in scheduling order, which keeps the whole simulator
+// deterministic.  Events can be cancelled through the handle returned at
+// scheduling time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace vod::sim {
+
+/// Opaque handle identifying a scheduled event (for cancellation).
+class EventHandle {
+ public:
+  constexpr EventHandle() = default;
+
+  [[nodiscard]] constexpr bool valid() const { return sequence_ != 0; }
+
+  friend constexpr bool operator==(EventHandle, EventHandle) = default;
+
+ private:
+  friend class EventQueue;
+  constexpr explicit EventHandle(std::uint64_t sequence)
+      : sequence_(sequence) {}
+  std::uint64_t sequence_ = 0;
+};
+
+/// Priority queue of timed callbacks.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules `callback` to fire at `when`.  Scheduling in the past (before
+  /// the last popped event) throws std::invalid_argument.
+  EventHandle schedule(SimTime when, Callback callback);
+
+  /// Cancels a pending event; returns false if it already fired, was
+  /// already cancelled, or the handle is invalid.
+  bool cancel(EventHandle handle);
+
+  /// Time of the earliest pending event, if any.
+  [[nodiscard]] std::optional<SimTime> next_time() const;
+
+  /// Pops and runs the earliest event; returns false when empty.
+  /// Cancelled events are skipped silently.
+  bool run_next();
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending_count() const;
+
+  /// The time of the most recently fired event (simulation "now").
+  [[nodiscard]] SimTime now() const { return now_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t sequence;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_sequence_ = 1;
+  std::size_t live_count_ = 0;
+  SimTime now_{0.0};
+};
+
+}  // namespace vod::sim

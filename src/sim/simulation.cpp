@@ -1,0 +1,63 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace vod::sim {
+
+std::size_t Simulation::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && queue_.run_next()) ++executed;
+  return executed;
+}
+
+std::size_t Simulation::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (auto next = queue_.next_time()) {
+    if (*next > until) break;
+    queue_.run_next();
+    ++executed;
+  }
+  // Advance the clock to `until` with a no-op event so `now()` reflects the
+  // requested horizon even when the queue drained early.
+  if (queue_.now() < until) {
+    queue_.schedule(until, [](SimTime) {});
+    queue_.run_next();
+  }
+  return executed;
+}
+
+PeriodicTask::PeriodicTask(Simulation& sim, double period_seconds,
+                           std::function<void(SimTime)> body)
+    : sim_(sim), period_(period_seconds), body_(std::move(body)) {
+  if (period_ <= 0.0) {
+    throw std::invalid_argument("PeriodicTask: period must be positive");
+  }
+  if (!body_) {
+    throw std::invalid_argument("PeriodicTask: empty body");
+  }
+}
+
+void PeriodicTask::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule_in(period_, [this](SimTime t) { fire(t); });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.queue().cancel(pending_);
+  pending_ = EventHandle{};
+}
+
+void PeriodicTask::fire(SimTime now) {
+  if (!running_) return;
+  body_(now);
+  // The body may have stopped the task.
+  if (running_) {
+    pending_ = sim_.schedule_in(period_, [this](SimTime t) { fire(t); });
+  }
+}
+
+}  // namespace vod::sim

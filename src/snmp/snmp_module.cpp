@@ -1,0 +1,46 @@
+#include "snmp/snmp_module.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vod::snmp {
+
+SnmpModule::SnmpModule(sim::Simulation& sim, net::FluidNetwork& network,
+                       db::LimitedAccessView view, double interval_seconds)
+    : sim_(sim), network_(network), view_(view), interval_(interval_seconds) {
+  if (interval_ <= 0.0) {
+    throw std::invalid_argument("SnmpModule: interval must be positive");
+  }
+}
+
+void SnmpModule::start() {
+  if (!task_) {
+    task_ = std::make_unique<sim::PeriodicTask>(
+        sim_, interval_, [this](SimTime now) { sample(now); });
+  }
+  task_->start();
+}
+
+void SnmpModule::stop() {
+  if (task_) task_->stop();
+}
+
+void SnmpModule::poll_now(SimTime now) { sample(now); }
+
+void SnmpModule::sample(SimTime now) {
+  if (network_.time() < now) network_.set_time(now);
+  const net::Topology& topology = network_.topology();
+  for (const net::LinkInfo& info : topology.links()) {
+    const Mbps used = count_vod_flows_ ? network_.used_bandwidth(info.id)
+                                       : network_.background(info.id);
+    const double utilization =
+        count_vod_flows_
+            ? network_.utilization(info.id)
+            : std::clamp(used / info.capacity, 0.0, 1.0);
+    view_.update_link_stats(info.id, used, utilization, now);
+    view_.set_link_online(info.id, network_.link_up(info.id));
+  }
+  ++poll_count_;
+}
+
+}  // namespace vod::snmp

@@ -1,0 +1,67 @@
+// A single simulated disk.
+//
+// Tracks capacity and the striped video parts stored on it, and models
+// read latency as seek + transfer — enough to study the layout and
+// load-balance properties of the paper's striping scheme (Figure 3).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/units.h"
+
+namespace vod::storage {
+
+/// Throughput/latency parameters of a disk.
+struct DiskProfile {
+  MegaBytes capacity{9000.0};       // ~9 GB, a period-correct SCSI disk
+  Mbps transfer_rate{80.0};         // sustained read rate (10 MB/s)
+  double seek_seconds = 0.009;      // average seek + rotational delay
+};
+
+/// One disk: capacity bookkeeping plus the (video, part index, size)
+/// records of every stripe stored on it.
+class Disk {
+ public:
+  Disk(DiskId id, DiskProfile profile);
+
+  [[nodiscard]] DiskId id() const { return id_; }
+  [[nodiscard]] const DiskProfile& profile() const { return profile_; }
+  [[nodiscard]] MegaBytes capacity() const { return profile_.capacity; }
+  [[nodiscard]] MegaBytes used() const { return used_; }
+  [[nodiscard]] MegaBytes free() const { return capacity() - used_; }
+
+  [[nodiscard]] bool can_fit(MegaBytes size) const {
+    return size.value() <= free().value() + 1e-9;
+  }
+
+  /// Stores part `part_index` of `video`; throws if it does not fit or the
+  /// same part is already present.
+  void store_part(VideoId video, std::size_t part_index, MegaBytes size);
+
+  /// Removes every part of `video`; returns the bytes freed.
+  MegaBytes remove_video(VideoId video);
+
+  /// Part indices of `video` held on this disk (sorted ascending).
+  [[nodiscard]] std::vector<std::size_t> parts_of(VideoId video) const;
+
+  [[nodiscard]] bool holds_any_part(VideoId video) const {
+    return parts_.contains(video);
+  }
+
+  [[nodiscard]] std::size_t stored_part_count() const;
+
+  /// Time to read `amount` from this disk: one seek plus transfer.
+  [[nodiscard]] double read_seconds(MegaBytes amount) const;
+
+ private:
+  DiskId id_;
+  DiskProfile profile_;
+  MegaBytes used_{0.0};
+  // video -> (part index -> size)
+  std::map<VideoId, std::map<std::size_t, MegaBytes>> parts_;
+};
+
+}  // namespace vod::storage

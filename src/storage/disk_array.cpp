@@ -1,0 +1,210 @@
+#include "storage/disk_array.h"
+
+#include <algorithm>
+
+#include <stdexcept>
+
+namespace vod::storage {
+
+DiskArray::DiskArray(std::size_t disk_count, DiskProfile profile,
+                     MegaBytes cluster, StripingMode mode)
+    : mode_(mode), failed_(disk_count, false), cluster_(cluster) {
+  if (disk_count == 0) {
+    throw std::invalid_argument("DiskArray: need at least one disk");
+  }
+  if (mode == StripingMode::kParity && disk_count < 2) {
+    throw std::invalid_argument("DiskArray: parity needs >= 2 disks");
+  }
+  if (cluster.value() <= 0.0) {
+    throw std::invalid_argument("DiskArray: cluster must be positive");
+  }
+  disks_.reserve(disk_count);
+  for (std::size_t slot = 0; slot < disk_count; ++slot) {
+    disks_.emplace_back(DiskId{static_cast<DiskId::underlying_type>(slot)},
+                        profile);
+  }
+}
+
+std::vector<std::size_t> DiskArray::healthy_slots() const {
+  std::vector<std::size_t> out;
+  for (std::size_t slot = 0; slot < disks_.size(); ++slot) {
+    if (!failed_[slot]) out.push_back(slot);
+  }
+  return out;
+}
+
+bool DiskArray::disk_failed(std::size_t slot) const {
+  if (slot >= disks_.size()) {
+    throw std::out_of_range("DiskArray::disk_failed: bad slot");
+  }
+  return failed_[slot];
+}
+
+std::size_t DiskArray::healthy_disk_count() const {
+  return healthy_slots().size();
+}
+
+bool DiskArray::recoverable(const StripePlacement& placement) const {
+  if (!placement.has_parity()) {
+    // Plain layout: any part on a failed disk is fatal.
+    for (const std::size_t slot : placement.part_to_disk) {
+      if (failed_[slot]) return false;
+    }
+    return true;
+  }
+  // Parity layout: a row survives while it misses at most one member
+  // (data or parity).
+  for (std::size_t row = 0; row < placement.row_count(); ++row) {
+    int missing = failed_[placement.parity_to_disk[row]] ? 1 : 0;
+    for (std::size_t j = 0; j < placement.row_width; ++j) {
+      const std::size_t part = row * placement.row_width + j;
+      if (part >= placement.part_count()) break;
+      if (failed_[placement.part_to_disk[part]]) ++missing;
+    }
+    if (missing > 1) return false;
+  }
+  return true;
+}
+
+std::vector<VideoId> DiskArray::fail_disk(std::size_t slot) {
+  if (slot >= disks_.size()) {
+    throw std::out_of_range("DiskArray::fail_disk: bad slot");
+  }
+  if (failed_[slot]) return {};
+  failed_[slot] = true;
+  std::vector<VideoId> lost;
+  for (const auto& [video, placement] : placements_) {
+    if (!recoverable(placement)) lost.push_back(video);
+  }
+  for (const VideoId video : lost) remove(video);
+  return lost;
+}
+
+bool DiskArray::readable(VideoId video) const {
+  const auto it = placements_.find(video);
+  return it != placements_.end() && recoverable(it->second);
+}
+
+void DiskArray::repair_disk(std::size_t slot) {
+  if (slot >= disks_.size()) {
+    throw std::out_of_range("DiskArray::repair_disk: bad slot");
+  }
+  failed_[slot] = false;
+}
+
+const Disk& DiskArray::disk(std::size_t slot) const {
+  if (slot >= disks_.size()) {
+    throw std::out_of_range("DiskArray::disk: bad slot");
+  }
+  return disks_[slot];
+}
+
+bool DiskArray::can_tolerate(MegaBytes size) const {
+  if (size.value() <= 0.0) return false;
+  const std::vector<std::size_t> healthy = healthy_slots();
+  if (healthy.empty()) return false;
+  if (mode_ == StripingMode::kParity && healthy.size() < 2) return false;
+  // Plan the layout over the surviving disks and check their free space.
+  const StripePlacement plan =
+      mode_ == StripingMode::kParity
+          ? plan_parity_striping(VideoId{0}, size, cluster_, healthy.size())
+          : plan_striping(VideoId{0} /* probe id */, size, cluster_,
+                          healthy.size());
+  const std::vector<MegaBytes> per_disk = plan.per_disk_bytes(healthy.size());
+  for (std::size_t i = 0; i < healthy.size(); ++i) {
+    if (!disks_[healthy[i]].can_fit(per_disk[i])) return false;
+  }
+  return true;
+}
+
+std::optional<StripePlacement> DiskArray::store(VideoId video,
+                                                MegaBytes size) {
+  if (holds(video)) {
+    throw std::invalid_argument("DiskArray::store: video already stored");
+  }
+  if (!can_tolerate(size)) return std::nullopt;
+  const std::vector<std::size_t> healthy = healthy_slots();
+  StripePlacement placement =
+      mode_ == StripingMode::kParity
+          ? plan_parity_striping(video, size, cluster_, healthy.size())
+          : plan_striping(video, size, cluster_, healthy.size());
+  // The plan is over logical (healthy) slots; persist physical slots.
+  for (std::size_t& slot : placement.part_to_disk) slot = healthy[slot];
+  for (std::size_t& slot : placement.parity_to_disk) slot = healthy[slot];
+  for (std::size_t part = 0; part < placement.part_count(); ++part) {
+    disks_[placement.part_to_disk[part]].store_part(
+        video, part, placement.part_sizes[part]);
+  }
+  for (std::size_t row = 0; row < placement.row_count(); ++row) {
+    disks_[placement.parity_to_disk[row]].store_part(
+        video, parity_part_index(row), placement.parity_sizes[row]);
+  }
+  const auto [it, inserted] = placements_.emplace(video, placement);
+  return it->second;
+}
+
+MegaBytes DiskArray::remove(VideoId video) {
+  if (placements_.erase(video) == 0) return MegaBytes{0.0};
+  MegaBytes freed{0.0};
+  for (Disk& disk : disks_) freed += disk.remove_video(video);
+  return freed;
+}
+
+const StripePlacement& DiskArray::placement(VideoId video) const {
+  const auto it = placements_.find(video);
+  if (it == placements_.end()) {
+    throw std::out_of_range("DiskArray::placement: video not stored");
+  }
+  return it->second;
+}
+
+std::vector<VideoId> DiskArray::stored_videos() const {
+  std::vector<VideoId> out;
+  out.reserve(placements_.size());
+  for (const auto& [video, placement] : placements_) out.push_back(video);
+  return out;
+}
+
+MegaBytes DiskArray::total_capacity() const {
+  MegaBytes total{0.0};
+  for (const Disk& disk : disks_) total += disk.capacity();
+  return total;
+}
+
+MegaBytes DiskArray::total_used() const {
+  MegaBytes total{0.0};
+  for (const Disk& disk : disks_) total += disk.used();
+  return total;
+}
+
+double DiskArray::cluster_read_seconds(VideoId video,
+                                       std::size_t part_index) const {
+  const StripePlacement& placement = this->placement(video);
+  if (part_index >= placement.part_count()) {
+    throw std::out_of_range("DiskArray::cluster_read_seconds: bad part");
+  }
+  const std::size_t slot = placement.part_to_disk[part_index];
+  if (!failed_[slot]) {
+    return disks_[slot].read_seconds(placement.part_sizes[part_index]);
+  }
+  if (!placement.has_parity() || !recoverable(placement)) {
+    throw std::logic_error(
+        "DiskArray::cluster_read_seconds: cluster unreadable");
+  }
+  // Degraded read: reconstruct from the row's survivors, which sit on
+  // distinct disks and read in parallel — latency is the slowest member.
+  const std::size_t row = part_index / placement.row_width;
+  double slowest = disks_[placement.parity_to_disk[row]].read_seconds(
+      placement.parity_sizes[row]);
+  for (std::size_t j = 0; j < placement.row_width; ++j) {
+    const std::size_t part = row * placement.row_width + j;
+    if (part >= placement.part_count()) break;
+    if (part == part_index) continue;
+    slowest = std::max(slowest,
+                       disks_[placement.part_to_disk[part]].read_seconds(
+                           placement.part_sizes[part]));
+  }
+  return slowest;
+}
+
+}  // namespace vod::storage

@@ -1,0 +1,117 @@
+#include "storage/striping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vod::storage {
+
+MegaBytes StripePlacement::total_size() const {
+  MegaBytes total{0.0};
+  for (const MegaBytes size : part_sizes) total += size;
+  return total;
+}
+
+std::vector<MegaBytes> StripePlacement::per_disk_bytes(
+    std::size_t disk_count) const {
+  std::vector<MegaBytes> out(disk_count, MegaBytes{0.0});
+  for (std::size_t part = 0; part < part_to_disk.size(); ++part) {
+    const std::size_t slot = part_to_disk[part];
+    if (slot >= disk_count) {
+      throw std::invalid_argument(
+          "StripePlacement::per_disk_bytes: placement uses more disks");
+    }
+    out[slot] += part_sizes[part];
+  }
+  for (std::size_t row = 0; row < parity_to_disk.size(); ++row) {
+    const std::size_t slot = parity_to_disk[row];
+    if (slot >= disk_count) {
+      throw std::invalid_argument(
+          "StripePlacement::per_disk_bytes: parity uses more disks");
+    }
+    out[slot] += parity_sizes[row];
+  }
+  return out;
+}
+
+StripePlacement plan_striping(VideoId video, MegaBytes video_size,
+                              MegaBytes cluster, std::size_t disk_count) {
+  if (!video.valid()) {
+    throw std::invalid_argument("plan_striping: invalid video");
+  }
+  if (video_size.value() <= 0.0) {
+    throw std::invalid_argument("plan_striping: size must be positive");
+  }
+  if (cluster.value() <= 0.0) {
+    throw std::invalid_argument("plan_striping: cluster must be positive");
+  }
+  if (disk_count == 0) {
+    throw std::invalid_argument("plan_striping: need at least one disk");
+  }
+
+  // p = ceil(size / c); the paper's p = size/c with the remainder forming a
+  // short final part.
+  const auto p = static_cast<std::size_t>(
+      std::ceil(video_size.value() / cluster.value() - 1e-12));
+
+  StripePlacement placement;
+  placement.video = video;
+  placement.cluster_size = cluster;
+  placement.part_to_disk.reserve(p);
+  placement.part_sizes.reserve(p);
+
+  MegaBytes left = video_size;
+  for (std::size_t part = 0; part < p; ++part) {
+    placement.part_to_disk.push_back(part % disk_count);
+    const MegaBytes this_part =
+        left.value() >= cluster.value() ? cluster : left;
+    placement.part_sizes.push_back(this_part);
+    left -= this_part;
+  }
+  return placement;
+}
+
+StripePlacement plan_parity_striping(VideoId video, MegaBytes video_size,
+                                     MegaBytes cluster,
+                                     std::size_t disk_count) {
+  if (disk_count < 2) {
+    throw std::invalid_argument(
+        "plan_parity_striping: parity needs at least two disks");
+  }
+  // Start from the plain plan for sizes/validation, then redo placement
+  // row by row around the rotating parity slot.
+  StripePlacement placement =
+      plan_striping(video, video_size, cluster, disk_count);
+  const std::size_t row_width = disk_count - 1;
+  placement.row_width = row_width;
+  const std::size_t rows =
+      (placement.part_count() + row_width - 1) / row_width;
+
+  for (std::size_t part = 0; part < placement.part_count(); ++part) {
+    const std::size_t row = part / row_width;
+    const std::size_t position = part % row_width;
+    const std::size_t parity_slot =
+        disk_count - 1 - (row % disk_count);
+    // Data slots are every slot except the parity one, ascending.
+    const std::size_t slot =
+        position < parity_slot ? position : position + 1;
+    placement.part_to_disk[part] = slot;
+    (void)rows;
+  }
+  placement.parity_to_disk.reserve(rows);
+  placement.parity_sizes.reserve(rows);
+  for (std::size_t row = 0; row < rows; ++row) {
+    placement.parity_to_disk.push_back(disk_count - 1 - (row % disk_count));
+    // Parity is as large as the row's largest data cluster.
+    MegaBytes largest{0.0};
+    for (std::size_t j = 0; j < row_width; ++j) {
+      const std::size_t part = row * row_width + j;
+      if (part >= placement.part_count()) break;
+      largest = std::max(largest, placement.part_sizes[part]);
+    }
+    placement.parity_sizes.push_back(largest);
+  }
+  return placement;
+}
+
+}  // namespace vod::storage

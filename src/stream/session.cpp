@@ -1,0 +1,234 @@
+#include "stream/session.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "storage/striping.h"
+
+namespace vod::stream {
+
+Session::Session(sim::Simulation& sim, net::TransferManager& transfers,
+                 ServerSelectionPolicy& policy, db::VideoInfo video,
+                 NodeId home, MegaBytes cluster_size, SessionOptions options,
+                 DoneCallback on_done)
+    : sim_(sim),
+      transfers_(transfers),
+      policy_(policy),
+      video_(std::move(video)),
+      home_(home),
+      options_(options),
+      on_done_(std::move(on_done)) {
+  if (!home.valid()) {
+    throw std::invalid_argument("Session: invalid home node");
+  }
+  if (cluster_size.value() <= 0.0) {
+    throw std::invalid_argument("Session: cluster size must be positive");
+  }
+  if (options_.prebuffer_clusters == 0) {
+    throw std::invalid_argument("Session: prebuffer must be >= 1 cluster");
+  }
+  // The striping plan defines the cluster boundaries; the disk count is
+  // irrelevant for sizes, so any positive count works here.
+  const storage::StripePlacement plan =
+      storage::plan_striping(video_.id, video_.size, cluster_size, 1);
+  part_sizes_ = plan.part_sizes;
+}
+
+Session::~Session() {
+  cancel_watchdog();
+  if (inflight_ && transfers_.active(*inflight_)) {
+    transfers_.cancel(*inflight_);
+  }
+}
+
+void Session::start() {
+  if (started_) {
+    throw std::logic_error("Session::start: already started");
+  }
+  started_ = true;
+  metrics_.requested_at = sim_.now();
+  fetch_next_cluster(sim_.now());
+}
+
+void Session::abort(const std::string& reason) {
+  if (!active()) return;
+  fail(sim_.now(), reason);
+}
+
+void Session::add_done_callback(DoneCallback callback) {
+  if (!callback) return;
+  if (done_) {
+    throw std::logic_error("Session::add_done_callback: already done");
+  }
+  if (!on_done_) {
+    on_done_ = std::move(callback);
+    return;
+  }
+  on_done_ = [first = std::move(on_done_),
+              second = std::move(callback)](const Session& session) {
+    first(session);
+    second(session);
+  };
+}
+
+void Session::pause() {
+  if (done_ || pause_started_) return;
+  pause_started_ = sim_.now();
+}
+
+void Session::resume() {
+  if (!pause_started_) return;
+  metrics_.pauses.emplace_back(*pause_started_, sim_.now());
+  pause_started_.reset();
+}
+
+double Session::advance_playhead(double from, double content_seconds) const {
+  double wall = from;
+  double left = content_seconds;
+  for (const auto& [pause_at, resume_at] : metrics_.pauses) {
+    const double p = pause_at.seconds();
+    const double r = resume_at.seconds();
+    if (p >= wall + left) break;  // pause begins after this content ends
+    if (r <= wall) continue;      // pause already over
+    if (p > wall) {
+      left -= p - wall;  // play up to the pause
+      wall = p;
+    }
+    wall = r;  // sit out the pause
+  }
+  return wall + left;
+}
+
+void Session::fetch_next_cluster(SimTime now) {
+  const std::size_t index = next_cluster_;
+  const auto selection = policy_.select_cluster(home_, video_.id, index);
+  if (!selection) {
+    fail(now, "no server can provide the title");
+    return;
+  }
+
+  if (!metrics_.cluster_sources.empty() &&
+      metrics_.cluster_sources.back() != selection->server) {
+    ++metrics_.server_switches;
+    VOD_LOG_DEBUG("session: switched source for cluster " << index);
+  }
+  metrics_.cluster_sources.push_back(selection->server);
+
+  const bool local = selection->path.links.empty();
+  const Mbps cap = local ? options_.local_rate : options_.flow_cap;
+  inflight_ = transfers_.start_transfer(
+      selection->path.links, part_sizes_[index], cap,
+      [this, index](SimTime t) { on_cluster_done(index, t); });
+
+  if (options_.stall_timeout_seconds !=
+      std::numeric_limits<double>::infinity()) {
+    watchdog_ = sim_.schedule_in(
+        options_.stall_timeout_seconds,
+        [this, index](SimTime t) { on_stall_timeout(index, t); });
+  }
+}
+
+void Session::cancel_watchdog() {
+  if (watchdog_.valid()) {
+    sim_.queue().cancel(watchdog_);
+    watchdog_ = sim::EventHandle{};
+  }
+}
+
+void Session::on_stall_timeout(std::size_t index, SimTime now) {
+  watchdog_ = sim::EventHandle{};
+  if (done_ || index != next_cluster_ || !inflight_) return;
+  // The cluster is overdue: abandon the transfer and re-select a source.
+  transfers_.cancel(*inflight_);
+  inflight_.reset();
+  ++metrics_.stall_retries;
+  // Forget the abandoned source so a return to it counts as a new choice.
+  metrics_.cluster_sources.pop_back();
+  if (metrics_.stall_retries > options_.max_retries) {
+    fail(now, "cluster stalled beyond retry budget");
+    return;
+  }
+  VOD_LOG_INFO("session: cluster " << index << " stalled; retrying");
+  fetch_next_cluster(now);
+}
+
+void Session::on_cluster_done(std::size_t index, SimTime now) {
+  if (index != metrics_.cluster_completed.size()) {
+    throw std::logic_error("Session: clusters completed out of order");
+  }
+  cancel_watchdog();
+  inflight_.reset();
+  metrics_.cluster_completed.push_back(now);
+  ++next_cluster_;
+  if (next_cluster_ == part_sizes_.size()) {
+    finish(now);
+  } else {
+    fetch_next_cluster(now);
+  }
+}
+
+void Session::finalize_playback() {
+  // Reconstruct the playback timeline from cluster completion times.
+  // Playback begins once `prebuffer_clusters` clusters have arrived; each
+  // cluster plays for part_size * 8 / bitrate seconds; a cluster arriving
+  // after the playhead reached it is a rebuffer event.
+  const std::size_t done = metrics_.cluster_completed.size();
+  if (done == 0) return;
+
+  const std::size_t prebuffer =
+      std::min(options_.prebuffer_clusters, part_sizes_.size());
+  if (done < prebuffer) return;  // never started playing
+
+  // Playback begins once the prebuffer is in — or once the user unpauses,
+  // whichever is later.
+  const SimTime buffered = metrics_.cluster_completed[prebuffer - 1];
+  const double start = advance_playhead(buffered.seconds(), 0.0);
+  metrics_.playback_started_at = SimTime{start};
+
+  double playhead = start;
+  for (std::size_t k = 0; k < done; ++k) {
+    const double arrival = metrics_.cluster_completed[k].seconds();
+    if (arrival > playhead) {
+      // Stall: the playhead waited for this cluster.
+      metrics_.rebuffer_seconds += arrival - playhead;
+      ++metrics_.rebuffer_events;
+      playhead = arrival;
+    }
+    playhead = advance_playhead(
+        playhead, part_sizes_[k].megabits() / video_.bitrate.value());
+  }
+  if (metrics_.finished) {
+    metrics_.playback_finished_at = SimTime{playhead};
+  }
+}
+
+void Session::finish(SimTime now) {
+  if (pause_started_) resume();  // close an open pause at "now"
+  done_ = true;
+  metrics_.finished = true;
+  metrics_.download_completed_at = now;
+  const double span = now - metrics_.requested_at;
+  if (span > 0.0) {
+    metrics_.mean_delivered_rate = Mbps{video_.size.megabits() / span};
+  }
+  finalize_playback();
+  if (on_done_) on_done_(*this);
+}
+
+void Session::fail(SimTime now, const std::string& reason) {
+  if (pause_started_) resume();  // close an open pause at "now"
+  cancel_watchdog();
+  done_ = true;
+  metrics_.failed = true;
+  metrics_.failure_reason = reason;
+  metrics_.download_completed_at = now;
+  if (inflight_ && transfers_.active(*inflight_)) {
+    transfers_.cancel(*inflight_);
+  }
+  inflight_.reset();
+  finalize_playback();
+  if (on_done_) on_done_(*this);
+}
+
+}  // namespace vod::stream

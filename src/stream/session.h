@@ -1,0 +1,177 @@
+// A client streaming session.
+//
+// The video is fetched cluster by cluster (the striping unit c): before each
+// cluster the selection policy is consulted again, so the source server can
+// change mid-stream exactly as the paper describes ("the next cluster will
+// be requested from the new optimal server").  Cluster k+1 starts
+// downloading the moment cluster k finishes; playback runs concurrently at
+// the title's bitrate, and the session records startup delay, rebuffering
+// and server switches.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/units.h"
+#include "db/records.h"
+#include "net/transfer.h"
+#include "stream/policy.h"
+
+namespace vod::stream {
+
+/// Session tuning.
+struct SessionOptions {
+  /// Clusters that must be fully downloaded before playback starts.
+  std::size_t prebuffer_clusters = 1;
+  /// Per-flow rate cap (client access line / player limit).
+  Mbps flow_cap{8.0};
+  /// Rate for clusters served from the home server's own disks.
+  Mbps local_rate{80.0};
+  /// If a cluster download exceeds this, abort it and ask the policy for a
+  /// (possibly different) source — the recovery path for link/server
+  /// failures mid-stream.  Infinity disables the watchdog.
+  double stall_timeout_seconds = std::numeric_limits<double>::infinity();
+  /// Stall retries tolerated before the session fails.
+  int max_retries = 5;
+};
+
+/// Everything measured about one session.
+struct SessionMetrics {
+  SimTime requested_at{0.0};
+  std::optional<SimTime> playback_started_at;
+  std::optional<SimTime> download_completed_at;
+  std::optional<SimTime> playback_finished_at;
+
+  /// Seconds from request to first playable frame.
+  [[nodiscard]] double startup_delay() const {
+    return playback_started_at ? *playback_started_at - requested_at : 0.0;
+  }
+
+  double rebuffer_seconds = 0.0;
+  int rebuffer_events = 0;
+  int server_switches = 0;
+  /// Cluster fetches abandoned by the stall watchdog and retried.
+  int stall_retries = 0;
+  /// Completed VCR pause intervals (pause time, resume time).
+  std::vector<std::pair<SimTime, SimTime>> pauses;
+
+  [[nodiscard]] double total_paused_seconds() const {
+    double total = 0.0;
+    for (const auto& [from, to] : pauses) total += to - from;
+    return total;
+  }
+
+  /// Source server of each cluster, in order.
+  std::vector<NodeId> cluster_sources;
+  /// Completion time of each cluster download.
+  std::vector<SimTime> cluster_completed;
+
+  bool finished = false;
+  bool failed = false;
+  std::string failure_reason;
+
+  /// Mean delivered rate over the whole download (set when it finishes).
+  Mbps mean_delivered_rate{0.0};
+
+  /// True when playback never stalled after starting.
+  [[nodiscard]] bool smooth() const {
+    return finished && rebuffer_events == 0;
+  }
+
+  /// The paper's QoS goal: a minimum sustainable rate ("the minimum video
+  /// frame rate for which a video can be considered decent").  Met when
+  /// the session finished, never rebuffered, and delivered at least
+  /// `floor` on average.
+  [[nodiscard]] bool meets_qos_floor(Mbps floor) const {
+    return smooth() && mean_delivered_rate >= floor;
+  }
+};
+
+/// Drives one video download + playback inside the simulation.
+class Session {
+ public:
+  using DoneCallback = std::function<void(const Session&)>;
+
+  /// References must outlive the session.  `cluster_size` is the striping
+  /// unit c; `video` comes from the catalog.
+  Session(sim::Simulation& sim, net::TransferManager& transfers,
+          ServerSelectionPolicy& policy, db::VideoInfo video, NodeId home,
+          MegaBytes cluster_size, SessionOptions options = {},
+          DoneCallback on_done = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Schedules the first cluster fetch at the current simulation time.
+  void start();
+
+  /// VCR pause: playback consumption stops (the download continues — a
+  /// paused player keeps buffering).  No-op if already paused or done.
+  /// Pauses are honored while the download is in flight; a pause still
+  /// open when the last cluster lands is clipped there (afterwards the
+  /// pause is the player's business, not the distribution service's).
+  void pause();
+
+  /// VCR resume; no-op if not paused.
+  void resume();
+
+  [[nodiscard]] bool paused() const { return pause_started_.has_value(); }
+
+  /// Aborts the session (cancels any in-flight transfer).
+  void abort(const std::string& reason);
+
+  /// Chains another completion callback (after any existing ones) — used
+  /// when a coalesced request joins this session.  Throws std::logic_error
+  /// if the session already ended.
+  void add_done_callback(DoneCallback callback);
+
+  [[nodiscard]] const SessionMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const db::VideoInfo& video() const { return video_; }
+  [[nodiscard]] NodeId home() const { return home_; }
+  [[nodiscard]] std::size_t cluster_count() const {
+    return part_sizes_.size();
+  }
+  [[nodiscard]] bool active() const { return started_ && !done_; }
+
+ private:
+  void fetch_next_cluster(SimTime now);
+  void on_cluster_done(std::size_t index, SimTime now);
+  void on_stall_timeout(std::size_t index, SimTime now);
+  void cancel_watchdog();
+  /// Derives playback timing (startup, rebuffers) from cluster completion
+  /// times; called once the download finishes or fails.
+  void finalize_playback();
+  void finish(SimTime now);
+  void fail(SimTime now, const std::string& reason);
+
+  sim::Simulation& sim_;
+  net::TransferManager& transfers_;
+  ServerSelectionPolicy& policy_;
+  db::VideoInfo video_;
+  NodeId home_;
+  SessionOptions options_;
+  DoneCallback on_done_;
+
+  /// Wall time after consuming `content_seconds` of video starting at wall
+  /// time `from`, accounting for the recorded pause intervals.
+  [[nodiscard]] double advance_playhead(double from,
+                                        double content_seconds) const;
+
+  std::vector<MegaBytes> part_sizes_;
+  std::size_t next_cluster_ = 0;
+  std::optional<FlowId> inflight_;
+  std::optional<SimTime> pause_started_;
+  sim::EventHandle watchdog_;
+  bool started_ = false;
+  bool done_ = false;
+  SessionMetrics metrics_;
+};
+
+}  // namespace vod::stream

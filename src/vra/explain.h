@@ -1,0 +1,20 @@
+// Human-readable breakdowns of the VRA's arithmetic.
+//
+// format_validation_table() prints, per link, both endpoint node
+// validations (eq. 2), the utilization term (eq. 3) and the resulting LVN
+// (eq. 1) — the working the paper shows only as final numbers in Table 3.
+// Operators use it to answer "why is this link expensive right now?".
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+#include "vra/validation.h"
+
+namespace vod::vra {
+
+/// One row per link: name, NV(a), NV(b), LT, LV, LU, LVN.
+std::string format_validation_table(const net::Topology& topology,
+                                    const LvnCalculator& calculator);
+
+}  // namespace vod::vra

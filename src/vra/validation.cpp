@@ -1,0 +1,97 @@
+#include "vra/validation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vod::vra {
+
+LinkStats DbLinkStatsProvider::stats(LinkId link) const {
+  const db::LinkRecord& record = view_.link(link);
+  return LinkStats{record.used_bandwidth, record.total_bandwidth,
+                   record.utilization, record.online};
+}
+
+void MapLinkStatsProvider::set(LinkId link, LinkStats stats) {
+  if (!link.valid()) {
+    throw std::invalid_argument("MapLinkStatsProvider::set: invalid link");
+  }
+  if (stats.total.value() <= 0.0) {
+    throw std::invalid_argument(
+        "MapLinkStatsProvider::set: total bandwidth must be positive");
+  }
+  if (stats_.size() <= link.value()) stats_.resize(link.value() + 1);
+  stats_[link.value()] = stats;
+}
+
+LinkStats MapLinkStatsProvider::stats(LinkId link) const {
+  if (!link.valid() || link.value() >= stats_.size() ||
+      !stats_[link.value()]) {
+    throw std::out_of_range("MapLinkStatsProvider::stats: unknown link");
+  }
+  return *stats_[link.value()];
+}
+
+LvnCalculator::LvnCalculator(const net::Topology& topology,
+                             const LinkStatsProvider& stats,
+                             ValidationOptions options)
+    : topology_(topology), stats_(stats), options_(std::move(options)) {
+  if (options_.normalization_constant <= 0.0) {
+    throw std::invalid_argument(
+        "LvnCalculator: normalization constant must be positive");
+  }
+  if (options_.server_load_weight < 0.0) {
+    throw std::invalid_argument(
+        "LvnCalculator: server load weight must be >= 0");
+  }
+  if (options_.server_load_weight > 0.0 && !options_.server_load) {
+    throw std::invalid_argument(
+        "LvnCalculator: server_load callback required when weighted");
+  }
+}
+
+double LvnCalculator::node_validation(NodeId node) const {
+  double used_sum = 0.0;
+  double total_sum = 0.0;
+  for (const LinkId link : topology_.links_adjacent_to(node)) {
+    const LinkStats s = stats_.stats(link);
+    used_sum += s.used.value();
+    total_sum += s.total.value();
+  }
+  // An isolated node imposes no network burden.
+  double nv = total_sum > 0.0 ? used_sum / total_sum : 0.0;
+  if (options_.server_load_weight > 0.0) {
+    nv += options_.server_load_weight * options_.server_load(node);
+  }
+  return nv;
+}
+
+double LvnCalculator::link_value(LinkId link) const {
+  return stats_.stats(link).total.value() / options_.normalization_constant;
+}
+
+double LvnCalculator::link_utilization_term(LinkId link) const {
+  return stats_.stats(link).traffic_fraction * link_value(link);
+}
+
+double LvnCalculator::link_validation_number(LinkId link) const {
+  const net::LinkInfo& info = topology_.link(link);
+  const double nv = std::max(node_validation(info.a),
+                             node_validation(info.b));
+  return nv + link_utilization_term(link);
+}
+
+routing::Graph LvnCalculator::build_weighted_graph() const {
+  routing::Graph graph;
+  for (std::size_t n = 0; n < topology_.node_count(); ++n) {
+    const NodeId node{static_cast<NodeId::underlying_type>(n)};
+    graph.add_node(topology_.node_name(node));
+  }
+  for (const net::LinkInfo& info : topology_.links()) {
+    if (!stats_.stats(info.id).online) continue;  // route around failures
+    graph.add_undirected_edge(info.a, info.b, info.id,
+                              link_validation_number(info.id));
+  }
+  return graph;
+}
+
+}  // namespace vod::vra

@@ -1,0 +1,92 @@
+#include "vra/vra.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace vod::vra {
+
+Vra::Vra(const net::Topology& topology, db::FullAccessView catalog,
+         db::LimitedAccessView network_state, ValidationOptions options)
+    : topology_(topology),
+      catalog_(catalog),
+      network_state_(network_state),
+      options_(std::move(options)) {}
+
+bool Vra::can_provide(NodeId server, VideoId video) const {
+  const db::ServerRecord& record = network_state_.server(server);
+  return record.online && record.titles.contains(video);
+}
+
+routing::Graph Vra::current_weighted_graph() const {
+  const DbLinkStatsProvider stats{network_state_};
+  const LvnCalculator calculator{topology_, stats, options_};
+  return calculator.build_weighted_graph();
+}
+
+std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
+                                           bool want_trace) const {
+  if (!topology_.has_node(home)) {
+    throw std::invalid_argument("Vra::select_server: unknown home node");
+  }
+  if (!catalog_.video(video)) {
+    throw std::invalid_argument("Vra::select_server: unknown video");
+  }
+
+  // "IF the adjacent to the client video server can provide the requested
+  //  video THEN authorize the server to start transferring and QUIT."
+  if (can_provide(home, video)) {
+    Decision decision;
+    decision.served_locally = true;
+    decision.server = home;
+    decision.path.nodes = {home};
+    decision.path.cost = 0.0;
+    VOD_LOG_DEBUG("VRA: served locally at " << topology_.node_name(home));
+    return decision;
+  }
+
+  // "Make a list of all the servers on the network that have the requested
+  //  video title; poll all of those servers."
+  std::vector<NodeId> holders = catalog_.servers_with_title(video);
+  std::erase_if(holders,
+                [&](NodeId server) { return !can_provide(server, video); });
+  if (holders.empty()) return std::nullopt;
+
+  // "Calculate the Link Validation Number for each network link; run the
+  //  Dijkstra's routing algorithm from the client's adjacent server."
+  const DbLinkStatsProvider stats{network_state_};
+  const LvnCalculator calculator{topology_, stats, options_};
+  const routing::Graph graph = calculator.build_weighted_graph();
+
+  Decision decision;
+  const routing::ShortestPaths paths = routing::dijkstra(
+      graph, home, want_trace ? &decision.trace : nullptr);
+
+  // "Select those least expensive paths that end at the servers that can
+  //  provide the video."
+  for (const NodeId server : holders) {
+    if (auto path = paths.path_to(server)) {
+      decision.candidates.push_back(Candidate{server, std::move(*path)});
+    }
+  }
+  if (decision.candidates.empty()) return std::nullopt;  // all disconnected
+
+  // "From those alternative least cost paths choose the one with the
+  //  smallest cost."  Ties break toward the lower node id so replays are
+  //  deterministic.
+  std::sort(decision.candidates.begin(), decision.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.path.cost != b.path.cost) return a.path.cost < b.path.cost;
+              return a.server < b.server;
+            });
+
+  decision.served_locally = false;
+  decision.server = decision.candidates.front().server;
+  decision.path = decision.candidates.front().path;
+  VOD_LOG_DEBUG("VRA: chose " << topology_.node_name(decision.server)
+                              << " cost " << decision.path.cost);
+  return decision;
+}
+
+}  // namespace vod::vra

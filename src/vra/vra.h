@@ -1,0 +1,81 @@
+// The Virtual Routing Algorithm — Figure 5 of the paper.
+//
+//   1. Find the client's home server (done by the service layer from the
+//      client IP; the VRA receives the home NodeId).
+//   2. If the home server can provide the title, serve locally and stop.
+//   3. Otherwise list every server holding the title, poll which of them
+//      can currently provide it (online flag), weight every link with its
+//      LVN, run Dijkstra from the home server, and of the least-cost paths
+//      to the capable candidates pick the cheapest.
+//
+// The VRA keeps running during playback: the streaming layer calls
+// select_server() again before each cluster, enabling mid-stream switching.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "db/database.h"
+#include "net/topology.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "vra/validation.h"
+
+namespace vod::vra {
+
+/// One candidate source considered by the VRA.
+struct Candidate {
+  NodeId server;
+  routing::Path path;  // least-cost path home -> server
+};
+
+/// The VRA's answer for one request.
+struct Decision {
+  /// True when the home server had the title (Figure 5's first branch).
+  bool served_locally = false;
+  /// The chosen source server (the home server when served_locally).
+  NodeId server;
+  /// Least-cost path from the home server to `server` (empty when local).
+  routing::Path path;
+  /// Every candidate with its least-cost path, sorted by ascending cost
+  /// (the chosen one first); empty when served locally.
+  std::vector<Candidate> candidates;
+  /// Step-by-step Dijkstra table (filled only when requested).
+  routing::DijkstraTrace trace;
+
+  [[nodiscard]] double cost() const { return path.cost; }
+};
+
+/// The algorithm object.  Stateless between calls: every invocation reads
+/// fresh statistics, mirroring the paper's constantly-rerunning application.
+class Vra {
+ public:
+  /// `topology` must outlive the Vra; the views are value facades.
+  Vra(const net::Topology& topology, db::FullAccessView catalog,
+      db::LimitedAccessView network_state, ValidationOptions options = {});
+
+  /// Runs Figure 5 for a client homed at `home` requesting `video`.
+  /// Returns nullopt when no online server holds the title.
+  /// `want_trace` additionally records the Dijkstra step table.
+  [[nodiscard]] std::optional<Decision> select_server(
+      NodeId home, VideoId video, bool want_trace = false) const;
+
+  /// The weighted graph the VRA would route on right now (for inspection
+  /// and the table benches).
+  [[nodiscard]] routing::Graph current_weighted_graph() const;
+
+  [[nodiscard]] const ValidationOptions& options() const { return options_; }
+
+ private:
+  /// "Poll all of those servers to find out which ones can provide the
+  /// video": here, an online check against the limited-access view.
+  [[nodiscard]] bool can_provide(NodeId server, VideoId video) const;
+
+  const net::Topology& topology_;
+  db::FullAccessView catalog_;
+  db::LimitedAccessView network_state_;
+  ValidationOptions options_;
+};
+
+}  // namespace vod::vra

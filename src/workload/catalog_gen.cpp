@@ -1,0 +1,37 @@
+#include "workload/catalog_gen.h"
+
+#include <stdexcept>
+
+namespace vod::workload {
+
+std::vector<VideoId> populate_catalog(db::Database& database,
+                                      const CatalogSpec& spec, Rng& rng) {
+  if (spec.title_count == 0) {
+    throw std::invalid_argument("populate_catalog: empty catalog");
+  }
+  if (!(spec.min_size.value() > 0.0) || spec.max_size < spec.min_size) {
+    throw std::invalid_argument("populate_catalog: bad size range");
+  }
+  if (!(spec.min_bitrate.value() > 0.0) ||
+      spec.max_bitrate < spec.min_bitrate) {
+    throw std::invalid_argument("populate_catalog: bad bitrate range");
+  }
+
+  std::vector<VideoId> ids;
+  ids.reserve(spec.title_count);
+  for (std::size_t i = 0; i < spec.title_count; ++i) {
+    const MegaBytes size{
+        spec.min_size == spec.max_size
+            ? spec.min_size.value()
+            : rng.uniform(spec.min_size.value(), spec.max_size.value())};
+    const Mbps bitrate{spec.min_bitrate == spec.max_bitrate
+                           ? spec.min_bitrate.value()
+                           : rng.uniform(spec.min_bitrate.value(),
+                                         spec.max_bitrate.value())};
+    ids.push_back(database.register_video(
+        spec.title_prefix + std::to_string(i), size, bitrate));
+  }
+  return ids;
+}
+
+}  // namespace vod::workload

@@ -1,0 +1,32 @@
+// Synthetic video catalog generation.
+//
+// The paper's titles are feature films on a period video server; we generate
+// MPEG-1/2-era assets: sizes around 0.5–2 GB, bitrates 1.5–6 Mbps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "db/database.h"
+
+namespace vod::workload {
+
+/// Shape of the generated catalog.
+struct CatalogSpec {
+  std::size_t title_count = 100;
+  MegaBytes min_size{500.0};
+  MegaBytes max_size{2000.0};
+  Mbps min_bitrate{1.5};
+  Mbps max_bitrate{6.0};
+  std::string title_prefix = "title-";
+};
+
+/// Registers `spec.title_count` synthetic videos in `database`; returns the
+/// ids in registration (= popularity-rank) order.
+std::vector<VideoId> populate_catalog(db::Database& database,
+                                      const CatalogSpec& spec, Rng& rng);
+
+}  // namespace vod::workload

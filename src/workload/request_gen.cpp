@@ -1,0 +1,114 @@
+#include "workload/request_gen.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace vod::workload {
+
+RequestGenerator::RequestGenerator(std::vector<VideoId> videos,
+                                   double zipf_skew,
+                                   std::vector<NodeId> homes,
+                                   std::vector<double> home_weights)
+    : videos_(std::move(videos)),
+      zipf_(videos_.empty() ? 1 : videos_.size(), zipf_skew),
+      homes_(std::move(homes)),
+      home_weights_(std::move(home_weights)) {
+  if (videos_.empty()) {
+    throw std::invalid_argument("RequestGenerator: no videos");
+  }
+  if (homes_.empty()) {
+    throw std::invalid_argument("RequestGenerator: no home nodes");
+  }
+  if (!home_weights_.empty() && home_weights_.size() != homes_.size()) {
+    throw std::invalid_argument(
+        "RequestGenerator: weights/homes size mismatch");
+  }
+}
+
+Request RequestGenerator::draw(SimTime at, Rng& rng) const {
+  const std::size_t rank = zipf_.sample(rng);
+  const std::size_t home_index =
+      home_weights_.empty()
+          ? static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(homes_.size()) - 1))
+          : rng.weighted_index(home_weights_);
+  return Request{at, homes_[home_index], videos_[rank]};
+}
+
+std::vector<Request> RequestGenerator::generate(SimTime start,
+                                                double duration_seconds,
+                                                double rate_per_second,
+                                                Rng& rng) const {
+  if (duration_seconds < 0.0 || rate_per_second <= 0.0) {
+    throw std::invalid_argument("RequestGenerator::generate: bad params");
+  }
+  std::vector<Request> out;
+  double t = start.seconds();
+  const double end = start.seconds() + duration_seconds;
+  for (;;) {
+    t += rng.exponential(rate_per_second);
+    if (t >= end) break;
+    out.push_back(draw(SimTime{t}, rng));
+  }
+  return out;
+}
+
+std::vector<Request> RequestGenerator::generate_diurnal(
+    SimTime start, double duration_seconds, double mean_rate_per_second,
+    double peak_hour, double peak_to_trough, Rng& rng) const {
+  if (duration_seconds < 0.0 || mean_rate_per_second <= 0.0) {
+    throw std::invalid_argument(
+        "RequestGenerator::generate_diurnal: bad params");
+  }
+  if (peak_hour < 0.0 || peak_hour >= 24.0) {
+    throw std::invalid_argument(
+        "RequestGenerator::generate_diurnal: peak_hour outside [0,24)");
+  }
+  if (peak_to_trough < 1.0) {
+    throw std::invalid_argument(
+        "RequestGenerator::generate_diurnal: ratio must be >= 1");
+  }
+  // rate(t) = mean * (1 + a cos(2π (h - peak)/24)) has mean `mean` over a
+  // day and peak/trough = (1+a)/(1-a); invert for a.
+  const double a = (peak_to_trough - 1.0) / (peak_to_trough + 1.0);
+  const double max_rate = mean_rate_per_second * (1.0 + a);
+
+  std::vector<Request> out;
+  double t = start.seconds();
+  const double end = start.seconds() + duration_seconds;
+  for (;;) {
+    t += rng.exponential(max_rate);  // candidate from the dominating rate
+    if (t >= end) break;
+    const double hour = std::fmod(t / 3600.0, 24.0);
+    const double rate =
+        mean_rate_per_second *
+        (1.0 + a * std::cos((hour - peak_hour) / 24.0 * 2.0 *
+                            std::numbers::pi));
+    if (rng.uniform() < rate / max_rate) {  // thinning acceptance
+      out.push_back(draw(SimTime{t}, rng));
+    }
+  }
+  return out;
+}
+
+std::vector<Request> RequestGenerator::generate_count(
+    SimTime start, double duration_seconds, std::size_t count,
+    Rng& rng) const {
+  if (duration_seconds < 0.0) {
+    throw std::invalid_argument(
+        "RequestGenerator::generate_count: bad duration");
+  }
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double offset =
+        count <= 1 ? 0.0
+                   : duration_seconds * static_cast<double>(i) /
+                         static_cast<double>(count);
+    out.push_back(draw(start + offset, rng));
+  }
+  return out;
+}
+
+}  // namespace vod::workload

@@ -1,0 +1,59 @@
+// Request stream generation: Poisson arrivals, Zipf titles, weighted homes.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "workload/zipf.h"
+
+namespace vod::workload {
+
+/// One client request: at `at`, a client homed at `home` asks for `video`.
+struct Request {
+  SimTime at;
+  NodeId home;
+  VideoId video;
+};
+
+/// Generates a deterministic (per seed) request schedule.
+class RequestGenerator {
+ public:
+  /// `videos` in popularity-rank order (rank 0 most popular); `homes` are
+  /// the candidate home servers with optional weights (empty = uniform).
+  RequestGenerator(std::vector<VideoId> videos, double zipf_skew,
+                   std::vector<NodeId> homes,
+                   std::vector<double> home_weights = {});
+
+  /// Poisson stream at `rate_per_second` over [start, start + duration).
+  [[nodiscard]] std::vector<Request> generate(SimTime start,
+                                              double duration_seconds,
+                                              double rate_per_second,
+                                              Rng& rng) const;
+
+  /// Exactly `count` requests spread uniformly over the interval (for
+  /// benches wanting fixed sample sizes).
+  [[nodiscard]] std::vector<Request> generate_count(SimTime start,
+                                                    double duration_seconds,
+                                                    std::size_t count,
+                                                    Rng& rng) const;
+
+  /// Non-homogeneous Poisson stream whose rate follows a day curve: mean
+  /// `mean_rate_per_second`, maximal at `peak_hour` (0-24), with
+  /// peak/trough ratio `peak_to_trough` >= 1 (VoD demand peaks in the
+  /// evening).  Implemented by thinning; deterministic per seed.
+  [[nodiscard]] std::vector<Request> generate_diurnal(
+      SimTime start, double duration_seconds, double mean_rate_per_second,
+      double peak_hour, double peak_to_trough, Rng& rng) const;
+
+ private:
+  [[nodiscard]] Request draw(SimTime at, Rng& rng) const;
+
+  std::vector<VideoId> videos_;
+  ZipfDistribution zipf_;
+  std::vector<NodeId> homes_;
+  std::vector<double> home_weights_;
+};
+
+}  // namespace vod::workload

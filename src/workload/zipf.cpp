@@ -1,0 +1,41 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vod::workload {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) : skew_(skew) {
+  if (n == 0) {
+    throw std::invalid_argument("ZipfDistribution: need at least one item");
+  }
+  if (skew < 0.0) {
+    throw std::invalid_argument("ZipfDistribution: skew must be >= 0");
+  }
+  cumulative_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cumulative_[k] = total;
+  }
+  for (double& c : cumulative_) c /= total;
+  cumulative_.back() = 1.0;  // guard float drift
+}
+
+double ZipfDistribution::probability(std::size_t rank) const {
+  if (rank >= cumulative_.size()) {
+    throw std::out_of_range("ZipfDistribution::probability: bad rank");
+  }
+  return rank == 0 ? cumulative_[0]
+                   : cumulative_[rank] - cumulative_[rank - 1];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+}  // namespace vod::workload

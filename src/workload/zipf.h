@@ -1,0 +1,35 @@
+// Zipf popularity distribution.
+//
+// Video-on-demand request popularity is classically Zipf-like: the paper's
+// whole "most popular" concept presumes a skewed request mix.  This sampler
+// drives the DMA benches and the service-level studies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vod::workload {
+
+/// Zipf over ranks 0..n-1: P(rank k) ∝ 1 / (k+1)^s.
+class ZipfDistribution {
+ public:
+  /// `n` >= 1 items, skew `s` >= 0 (0 = uniform; ~0.7–1.2 typical for VoD).
+  ZipfDistribution(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+  [[nodiscard]] double skew() const { return skew_; }
+
+  /// Probability of rank `k` (0 = most popular).
+  [[nodiscard]] double probability(std::size_t rank) const;
+
+  /// Draws a rank.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  double skew_;
+  std::vector<double> cumulative_;  // cumulative_[k] = P(rank <= k)
+};
+
+}  // namespace vod::workload

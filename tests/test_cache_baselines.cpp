@@ -1,0 +1,119 @@
+#include "baselines/cache_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod::baselines {
+namespace {
+
+TEST(LruTitleCache, MissThenHit) {
+  LruTitleCache cache{MegaBytes{100.0}};
+  EXPECT_FALSE(cache.on_request(VideoId{1}, MegaBytes{40.0}));
+  EXPECT_TRUE(cache.on_request(VideoId{1}, MegaBytes{40.0}));
+  EXPECT_TRUE(cache.contains(VideoId{1}));
+}
+
+TEST(LruTitleCache, EvictsLeastRecentlyUsed) {
+  LruTitleCache cache{MegaBytes{100.0}};
+  cache.on_request(VideoId{1}, MegaBytes{40.0});
+  cache.on_request(VideoId{2}, MegaBytes{40.0});
+  cache.on_request(VideoId{1}, MegaBytes{40.0});  // refresh 1
+  cache.on_request(VideoId{3}, MegaBytes{40.0});  // evicts 2, not 1
+  EXPECT_TRUE(cache.contains(VideoId{1}));
+  EXPECT_FALSE(cache.contains(VideoId{2}));
+  EXPECT_TRUE(cache.contains(VideoId{3}));
+}
+
+TEST(LruTitleCache, EvictsMultipleForLargeNewcomer) {
+  LruTitleCache cache{MegaBytes{100.0}};
+  cache.on_request(VideoId{1}, MegaBytes{40.0});
+  cache.on_request(VideoId{2}, MegaBytes{40.0});
+  cache.on_request(VideoId{3}, MegaBytes{90.0});  // evicts both
+  EXPECT_FALSE(cache.contains(VideoId{1}));
+  EXPECT_FALSE(cache.contains(VideoId{2}));
+  EXPECT_TRUE(cache.contains(VideoId{3}));
+}
+
+TEST(LruTitleCache, OversizedTitleNeverAdmitted) {
+  LruTitleCache cache{MegaBytes{100.0}};
+  cache.on_request(VideoId{1}, MegaBytes{40.0});
+  EXPECT_FALSE(cache.on_request(VideoId{2}, MegaBytes{150.0}));
+  EXPECT_FALSE(cache.contains(VideoId{2}));
+  EXPECT_TRUE(cache.contains(VideoId{1}));  // untouched
+}
+
+TEST(LruTitleCache, Validation) {
+  EXPECT_THROW(LruTitleCache{MegaBytes{0.0}}, std::invalid_argument);
+  LruTitleCache cache{MegaBytes{10.0}};
+  EXPECT_THROW(cache.on_request(VideoId{1}, MegaBytes{0.0}),
+               std::invalid_argument);
+}
+
+TEST(LfuTitleCache, MissThenHit) {
+  LfuTitleCache cache{MegaBytes{100.0}};
+  EXPECT_FALSE(cache.on_request(VideoId{1}, MegaBytes{40.0}));
+  EXPECT_TRUE(cache.on_request(VideoId{1}, MegaBytes{40.0}));
+}
+
+TEST(LfuTitleCache, EvictsLeastFrequentlyUsed) {
+  LfuTitleCache cache{MegaBytes{100.0}};
+  cache.on_request(VideoId{1}, MegaBytes{40.0});
+  cache.on_request(VideoId{1}, MegaBytes{40.0});
+  cache.on_request(VideoId{1}, MegaBytes{40.0});  // freq 3
+  cache.on_request(VideoId{2}, MegaBytes{40.0});  // freq 1
+  cache.on_request(VideoId{3}, MegaBytes{40.0});  // evicts 2
+  EXPECT_TRUE(cache.contains(VideoId{1}));
+  EXPECT_FALSE(cache.contains(VideoId{2}));
+  EXPECT_TRUE(cache.contains(VideoId{3}));
+}
+
+TEST(LfuTitleCache, FrequencyRemembersEvictedTitles) {
+  LfuTitleCache cache{MegaBytes{100.0}};
+  // Build up frequency for 1 while it is outside the cache.
+  cache.on_request(VideoId{1}, MegaBytes{90.0});
+  cache.on_request(VideoId{2}, MegaBytes{90.0});  // evicts 1 (freq 1 vs 1)
+  cache.on_request(VideoId{1}, MegaBytes{90.0});  // freq 2, re-admitted
+  EXPECT_TRUE(cache.contains(VideoId{1}));
+  // 2 (freq 1) was evicted to make room.
+  EXPECT_FALSE(cache.contains(VideoId{2}));
+}
+
+TEST(LfuTitleCache, Validation) {
+  EXPECT_THROW(LfuTitleCache{MegaBytes{-1.0}}, std::invalid_argument);
+  LfuTitleCache cache{MegaBytes{10.0}};
+  EXPECT_THROW(cache.on_request(VideoId{1}, MegaBytes{-2.0}),
+               std::invalid_argument);
+}
+
+TEST(NoTitleCache, NeverCaches) {
+  NoTitleCache cache;
+  EXPECT_FALSE(cache.on_request(VideoId{1}, MegaBytes{1.0}));
+  EXPECT_FALSE(cache.on_request(VideoId{1}, MegaBytes{1.0}));
+  EXPECT_FALSE(cache.contains(VideoId{1}));
+}
+
+TEST(DmaTitleCache, AdaptsDmaCacheToTitleCacheInterface) {
+  storage::DiskArray disks{2, storage::DiskProfile{}, MegaBytes{50.0}};
+  dma::DmaCache dma_cache{disks};
+  DmaTitleCache adapter{dma_cache};
+  EXPECT_FALSE(adapter.on_request(VideoId{1}, MegaBytes{500.0}));
+  EXPECT_TRUE(adapter.contains(VideoId{1}));
+  EXPECT_TRUE(adapter.on_request(VideoId{1}, MegaBytes{500.0}));
+}
+
+TEST(TitleCacheNames, AreDistinct) {
+  storage::DiskArray disks{2, storage::DiskProfile{}, MegaBytes{50.0}};
+  dma::DmaCache dma_cache{disks};
+  DmaTitleCache dma_adapter{dma_cache};
+  LruTitleCache lru{MegaBytes{10.0}};
+  LfuTitleCache lfu{MegaBytes{10.0}};
+  NoTitleCache none;
+  EXPECT_STREQ(dma_adapter.name(), "DMA");
+  EXPECT_STREQ(lru.name(), "LRU");
+  EXPECT_STREQ(lfu.name(), "LFU");
+  EXPECT_STREQ(none.name(), "none");
+}
+
+}  // namespace
+}  // namespace vod::baselines

@@ -1,0 +1,133 @@
+// Request coalescing (batching): nearby requests for the same title at the
+// same home server join one stream.
+#include <gtest/gtest.h>
+
+#include "grnet/grnet.h"
+#include "service/vod_service.h"
+
+namespace vod::service {
+namespace {
+
+const db::AdminCredential kAdmin{"secret"};
+
+struct Fixture {
+  grnet::CaseStudy g = grnet::build_case_study();
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+  std::unique_ptr<VodService> service;
+  VideoId movie;
+
+  explicit Fixture(double window) {
+    ServiceOptions options;
+    options.cluster_size = MegaBytes{10.0};
+    options.dma.admission_threshold = 1'000'000;
+    options.coalesce_window_seconds = window;
+    service = std::make_unique<VodService>(sim, g.topology, network,
+                                           options, kAdmin);
+    movie = service->add_video("movie", MegaBytes{40.0}, Mbps{2.0});
+    service->place_initial_copy(g.thessaloniki, movie);
+    service->start();
+  }
+};
+
+TEST(Coalescing, SecondRequestInWindowJoinsLeader) {
+  Fixture fx{60.0};
+  const SessionId first = fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(SimTime{10.0});
+  const SessionId second = fx.service->request_at(fx.g.patra, fx.movie);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(fx.service->coalesced_count(), 1u);
+  EXPECT_EQ(fx.service->session_ids().size(), 1u);
+}
+
+TEST(Coalescing, JoinerCallbackFiresWithLeader) {
+  Fixture fx{60.0};
+  bool leader_done = false;
+  bool joiner_done = false;
+  fx.service->request_at(fx.g.patra, fx.movie,
+                         [&](const stream::Session&) { leader_done = true; });
+  fx.sim.run_until(SimTime{5.0});
+  fx.service->request_at(fx.g.patra, fx.movie,
+                         [&](const stream::Session&) { joiner_done = true; });
+  fx.sim.run_until(from_hours(1.0));
+  EXPECT_TRUE(leader_done);
+  EXPECT_TRUE(joiner_done);
+}
+
+TEST(Coalescing, OutsideWindowOpensNewStream) {
+  Fixture fx{30.0};
+  const SessionId first = fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(SimTime{31.0});
+  const SessionId second = fx.service->request_at(fx.g.patra, fx.movie);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(fx.service->coalesced_count(), 0u);
+}
+
+TEST(Coalescing, DifferentHomesDoNotCoalesce) {
+  Fixture fx{60.0};
+  const SessionId patra = fx.service->request_at(fx.g.patra, fx.movie);
+  const SessionId heraklio =
+      fx.service->request_at(fx.g.heraklio, fx.movie);
+  EXPECT_NE(patra, heraklio);
+  EXPECT_EQ(fx.service->coalesced_count(), 0u);
+}
+
+TEST(Coalescing, DifferentTitlesDoNotCoalesce) {
+  Fixture fx{60.0};
+  const VideoId other =
+      fx.service->add_video("other", MegaBytes{40.0}, Mbps{2.0});
+  fx.service->place_initial_copy(fx.g.thessaloniki, other);
+  const SessionId a = fx.service->request_at(fx.g.patra, fx.movie);
+  const SessionId b = fx.service->request_at(fx.g.patra, other);
+  EXPECT_NE(a, b);
+}
+
+TEST(Coalescing, FinishedLeaderDoesNotAbsorbLateRequests) {
+  Fixture fx{3600.0};  // huge window, but the leader finishes first
+  const SessionId first = fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(from_hours(0.5));
+  ASSERT_TRUE(fx.service->session(first).metrics().finished);
+  const SessionId second = fx.service->request_at(fx.g.patra, fx.movie);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(fx.service->coalesced_count(), 0u);
+}
+
+TEST(Coalescing, DisabledByDefault) {
+  Fixture fx{0.0};
+  const SessionId first = fx.service->request_at(fx.g.patra, fx.movie);
+  const SessionId second = fx.service->request_at(fx.g.patra, fx.movie);
+  EXPECT_NE(second, first);
+  EXPECT_EQ(fx.service->coalesced_count(), 0u);
+}
+
+TEST(Coalescing, JoinersStillCountTowardDmaPopularity) {
+  Fixture fx{60.0};
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.service->request_at(fx.g.patra, fx.movie);  // coalesced
+  EXPECT_EQ(fx.service->dma_cache(fx.g.patra).request_count(), 2u);
+}
+
+TEST(Coalescing, SavesNetworkWork) {
+  // Five viewers in one minute: coalescing moves the title once.
+  Fixture coalesced{120.0};
+  for (int i = 0; i < 5; ++i) {
+    coalesced.service->request_at(coalesced.g.patra, coalesced.movie);
+    coalesced.sim.run_until(coalesced.sim.now() + 10.0);
+  }
+  coalesced.sim.run_until(from_hours(1.0));
+  EXPECT_EQ(coalesced.service->session_ids().size(), 1u);
+  EXPECT_EQ(coalesced.service->coalesced_count(), 4u);
+
+  Fixture independent{0.0};
+  for (int i = 0; i < 5; ++i) {
+    independent.service->request_at(independent.g.patra,
+                                    independent.movie);
+    independent.sim.run_until(independent.sim.now() + 10.0);
+  }
+  independent.sim.run_until(from_hours(1.0));
+  EXPECT_EQ(independent.service->session_ids().size(), 5u);
+}
+
+}  // namespace
+}  // namespace vod::service

@@ -1,0 +1,57 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod {
+namespace {
+
+TEST(CsvWriter, HeaderOnly) {
+  const CsvWriter csv{{"a", "b"}};
+  EXPECT_EQ(csv.str(), "a,b\n");
+  EXPECT_EQ(csv.row_count(), 0u);
+}
+
+TEST(CsvWriter, PlainRows) {
+  CsvWriter csv{{"a", "b"}};
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(csv.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(CsvWriter, EscapesCommas) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriter, EscapesQuotesByDoubling) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, EscapesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(CsvWriter, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvWriter::escape("plain-field_1"), "plain-field_1");
+}
+
+TEST(CsvWriter, WidthMismatchThrows) {
+  CsvWriter csv{{"a", "b"}};
+  EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(csv.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EmptyHeaderRejected) {
+  EXPECT_THROW(CsvWriter{std::vector<std::string>{}},
+               std::invalid_argument);
+}
+
+TEST(CsvWriter, QuotedHeaderFields) {
+  const CsvWriter csv{{"plain", "with,comma"}};
+  EXPECT_EQ(csv.str(), "plain,\"with,comma\"\n");
+}
+
+}  // namespace
+}  // namespace vod

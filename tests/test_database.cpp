@@ -1,0 +1,193 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod::db {
+namespace {
+
+const AdminCredential kAdmin{"secret"};
+
+Database make_db() {
+  Database db{kAdmin};
+  return db;
+}
+
+TEST(Database, RejectsEmptyAdminSecret) {
+  EXPECT_THROW(Database{AdminCredential{""}}, std::invalid_argument);
+}
+
+TEST(Database, RegisterVideoAssignsSequentialIds) {
+  Database db = make_db();
+  const VideoId a = db.register_video("a", MegaBytes{100.0}, Mbps{2.0});
+  const VideoId b = db.register_video("b", MegaBytes{100.0}, Mbps{2.0});
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Database, RegisterVideoValidatesInput) {
+  Database db = make_db();
+  EXPECT_THROW(db.register_video("", MegaBytes{1.0}, Mbps{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(db.register_video("x", MegaBytes{0.0}, Mbps{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(db.register_video("x", MegaBytes{1.0}, Mbps{0.0}),
+               std::invalid_argument);
+}
+
+TEST(Database, LimitedViewRequiresCredential) {
+  Database db = make_db();
+  EXPECT_NO_THROW(db.limited_view(kAdmin));
+  EXPECT_THROW(db.limited_view(AdminCredential{"wrong"}),
+               std::invalid_argument);
+}
+
+TEST(Database, DuplicateServerRejected) {
+  Database db = make_db();
+  db.register_server(NodeId{0}, "a", {});
+  EXPECT_THROW(db.register_server(NodeId{0}, "a", {}),
+               std::invalid_argument);
+}
+
+TEST(Database, DuplicateLinkRejected) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "l", Mbps{2.0});
+  EXPECT_THROW(db.register_link(LinkId{0}, "l", Mbps{2.0}),
+               std::invalid_argument);
+}
+
+TEST(Database, LinkNeedsPositiveBandwidth) {
+  Database db = make_db();
+  EXPECT_THROW(db.register_link(LinkId{0}, "l", Mbps{0.0}),
+               std::invalid_argument);
+}
+
+TEST(FullAccess, ListAndLookup) {
+  Database db = make_db();
+  const VideoId id = db.register_video("casablanca", MegaBytes{700.0},
+                                       Mbps{1.5});
+  const FullAccessView view = db.full_view();
+  EXPECT_EQ(view.video_count(), 1u);
+  ASSERT_TRUE(view.video(id).has_value());
+  EXPECT_EQ(view.video(id)->title, "casablanca");
+  EXPECT_FALSE(view.video(VideoId{9}).has_value());
+}
+
+TEST(FullAccess, FindByTitle) {
+  Database db = make_db();
+  db.register_video("casablanca", MegaBytes{700.0}, Mbps{1.5});
+  const FullAccessView view = db.full_view();
+  ASSERT_TRUE(view.find_by_title("casablanca").has_value());
+  EXPECT_FALSE(view.find_by_title("vertigo").has_value());
+}
+
+TEST(FullAccess, SubstringSearch) {
+  Database db = make_db();
+  db.register_video("the godfather", MegaBytes{900.0}, Mbps{2.0});
+  db.register_video("the godfather II", MegaBytes{950.0}, Mbps{2.0});
+  db.register_video("jaws", MegaBytes{800.0}, Mbps{2.0});
+  const FullAccessView view = db.full_view();
+  EXPECT_EQ(view.search("godfather").size(), 2u);
+  EXPECT_EQ(view.search("jaws").size(), 1u);
+  EXPECT_TRUE(view.search("alien").empty());
+}
+
+TEST(FullAccess, ServersWithTitleFollowsPlacement) {
+  Database db = make_db();
+  const VideoId video = db.register_video("v", MegaBytes{100.0}, Mbps{2.0});
+  db.register_server(NodeId{0}, "a", {});
+  db.register_server(NodeId{1}, "b", {});
+  auto limited = db.limited_view(kAdmin);
+  limited.add_title(NodeId{1}, video);
+  EXPECT_EQ(db.full_view().servers_with_title(video),
+            std::vector<NodeId>{NodeId{1}});
+  limited.add_title(NodeId{0}, video);
+  EXPECT_EQ(db.full_view().servers_with_title(video).size(), 2u);
+  limited.remove_title(NodeId{1}, video);
+  EXPECT_EQ(db.full_view().servers_with_title(video),
+            std::vector<NodeId>{NodeId{0}});
+}
+
+TEST(LimitedAccess, AddTitleValidatesVideoAndServer) {
+  Database db = make_db();
+  db.register_server(NodeId{0}, "a", {});
+  auto limited = db.limited_view(kAdmin);
+  EXPECT_THROW(limited.add_title(NodeId{0}, VideoId{9}),
+               std::invalid_argument);
+  const VideoId video = db.register_video("v", MegaBytes{1.0}, Mbps{1.0});
+  EXPECT_THROW(limited.add_title(NodeId{5}, video), std::out_of_range);
+}
+
+TEST(LimitedAccess, LinkStatsRoundTrip) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "Patra-Athens", Mbps{2.0});
+  auto limited = db.limited_view(kAdmin);
+  limited.update_link_stats(LinkId{0}, Mbps{1.82}, 0.91, SimTime{100.0});
+  const LinkRecord& record = limited.link(LinkId{0});
+  EXPECT_EQ(record.used_bandwidth, Mbps{1.82});
+  EXPECT_DOUBLE_EQ(record.utilization, 0.91);
+  EXPECT_EQ(record.last_snmp_update, SimTime{100.0});
+  EXPECT_EQ(record.total_bandwidth, Mbps{2.0});
+}
+
+TEST(LimitedAccess, LinkStatsValidated) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "l", Mbps{2.0});
+  auto limited = db.limited_view(kAdmin);
+  EXPECT_THROW(
+      limited.update_link_stats(LinkId{0}, Mbps{-1.0}, 0.5, SimTime{0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      limited.update_link_stats(LinkId{0}, Mbps{1.0}, 1.5, SimTime{0.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      limited.update_link_stats(LinkId{7}, Mbps{1.0}, 0.5, SimTime{0.0}),
+      std::out_of_range);
+}
+
+TEST(LimitedAccess, StatsAge) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "l", Mbps{2.0});
+  auto limited = db.limited_view(kAdmin);
+  limited.update_link_stats(LinkId{0}, Mbps{1.0}, 0.5, SimTime{100.0});
+  EXPECT_DOUBLE_EQ(limited.stats_age(LinkId{0}, SimTime{190.0}), 90.0);
+}
+
+TEST(LimitedAccess, ServerConfigAndOnlineFlag) {
+  Database db = make_db();
+  ServerConfig config;
+  config.disk_count = 4;
+  config.disk_capacity = MegaBytes{9000.0};
+  db.register_server(NodeId{0}, "athens", config);
+  auto limited = db.limited_view(kAdmin);
+  EXPECT_EQ(limited.server(NodeId{0}).config.disk_count, 4);
+  EXPECT_TRUE(limited.server(NodeId{0}).online);
+  limited.set_server_online(NodeId{0}, false);
+  EXPECT_FALSE(limited.server(NodeId{0}).online);
+  config.disk_count = 8;
+  limited.set_server_config(NodeId{0}, config);
+  EXPECT_EQ(limited.server(NodeId{0}).config.disk_count, 8);
+}
+
+TEST(LimitedAccess, ListsAllRecords) {
+  Database db = make_db();
+  db.register_server(NodeId{0}, "a", {});
+  db.register_server(NodeId{1}, "b", {});
+  db.register_link(LinkId{0}, "l0", Mbps{2.0});
+  auto limited = db.limited_view(kAdmin);
+  EXPECT_EQ(limited.servers().size(), 2u);
+  EXPECT_EQ(limited.links().size(), 1u);
+}
+
+TEST(LimitedAccess, UnknownLookupsThrow) {
+  Database db = make_db();
+  auto limited = db.limited_view(kAdmin);
+  EXPECT_THROW(limited.server(NodeId{0}), std::out_of_range);
+  EXPECT_THROW(limited.link(LinkId{0}), std::out_of_range);
+  EXPECT_THROW(limited.stats_age(LinkId{0}, SimTime{0.0}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace vod::db

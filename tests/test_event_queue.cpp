@@ -1,0 +1,146 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace vod::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime{3.0}, [&](SimTime) { fired.push_back(3); });
+  queue.schedule(SimTime{1.0}, [&](SimTime) { fired.push_back(1); });
+  queue.schedule(SimTime{2.0}, [&](SimTime) { fired.push_back(2); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(SimTime{1.0}, [&, i](SimTime) { fired.push_back(i); });
+  }
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbackReceivesEventTime) {
+  EventQueue queue;
+  SimTime seen{0.0};
+  queue.schedule(SimTime{7.5}, [&](SimTime t) { seen = t; });
+  queue.run_next();
+  EXPECT_EQ(seen, SimTime{7.5});
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue queue;
+  queue.schedule(SimTime{2.0}, [](SimTime) {});
+  EXPECT_EQ(queue.now(), SimTime{0.0});
+  queue.run_next();
+  EXPECT_EQ(queue.now(), SimTime{2.0});
+}
+
+TEST(EventQueue, RejectsSchedulingInThePast) {
+  EventQueue queue;
+  queue.schedule(SimTime{5.0}, [](SimTime) {});
+  queue.run_next();
+  EXPECT_THROW(queue.schedule(SimTime{4.0}, [](SimTime) {}),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue queue;
+  queue.schedule(SimTime{5.0}, [](SimTime) {});
+  queue.run_next();
+  EXPECT_NO_THROW(queue.schedule(SimTime{5.0}, [](SimTime) {}));
+}
+
+TEST(EventQueue, RejectsEmptyCallback) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(SimTime{1.0}, EventQueue::Callback{}),
+               std::invalid_argument);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventHandle handle =
+      queue.schedule(SimTime{1.0}, [&](SimTime) { fired = true; });
+  EXPECT_TRUE(queue.cancel(handle));
+  while (queue.run_next()) {
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  EXPECT_TRUE(queue.cancel(handle));
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelAfterFiringFails) {
+  EventQueue queue;
+  const EventHandle handle = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  queue.run_next();
+  EXPECT_FALSE(queue.cancel(handle));
+}
+
+TEST(EventQueue, CancelInvalidHandleFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue queue;
+  EXPECT_EQ(queue.pending_count(), 0u);
+  const EventHandle a = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  queue.schedule(SimTime{2.0}, [](SimTime) {});
+  EXPECT_EQ(queue.pending_count(), 2u);
+  queue.cancel(a);
+  EXPECT_EQ(queue.pending_count(), 1u);
+  queue.run_next();
+  EXPECT_EQ(queue.pending_count(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventHandle a = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  queue.schedule(SimTime{2.0}, [](SimTime) {});
+  queue.cancel(a);
+  ASSERT_TRUE(queue.next_time().has_value());
+  EXPECT_EQ(*queue.next_time(), SimTime{2.0});
+}
+
+TEST(EventQueue, NextTimeEmptyWhenDrained) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.next_time().has_value());
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<double> fired;
+  queue.schedule(SimTime{1.0}, [&](SimTime t) {
+    fired.push_back(t.seconds());
+    queue.schedule(SimTime{2.0},
+                   [&](SimTime t2) { fired.push_back(t2.seconds()); });
+  });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.run_next());
+}
+
+}  // namespace
+}  // namespace vod::sim

@@ -1,0 +1,256 @@
+#include "net/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace vod::net {
+namespace {
+
+/// a -- b -- c with 10 Mbps links.
+struct Line {
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+
+  Line() {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    c = topo.add_node("c");
+    ab = topo.add_link(a, b, Mbps{10.0});
+    bc = topo.add_link(b, c, Mbps{10.0});
+  }
+};
+
+TEST(FluidNetwork, SingleFlowCappedByOwnLimit) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab}, Mbps{4.0});
+  EXPECT_EQ(network.flow_rate(flow), Mbps{4.0});
+}
+
+TEST(FluidNetwork, SingleFlowCappedByLinkCapacity) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab}, Mbps{50.0});
+  EXPECT_EQ(network.flow_rate(flow), Mbps{10.0});
+}
+
+TEST(FluidNetwork, TwoFlowsShareEqually) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId f1 = network.start_flow({line.ab}, Mbps{50.0});
+  const FlowId f2 = network.start_flow({line.ab}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(f1).value(), 5.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(f2).value(), 5.0, 1e-9);
+}
+
+TEST(FluidNetwork, CappedFlowReleasesShareToOthers) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId small = network.start_flow({line.ab}, Mbps{2.0});
+  const FlowId big = network.start_flow({line.ab}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(small).value(), 2.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(big).value(), 8.0, 1e-9);
+}
+
+TEST(FluidNetwork, MultiHopFlowLimitedByBottleneck) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.bc, Mbps{7.0});  // bc residual = 3
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab, line.bc}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(flow).value(), 3.0, 1e-9);
+}
+
+TEST(FluidNetwork, StopFlowRestoresBandwidth) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId f1 = network.start_flow({line.ab}, Mbps{50.0});
+  const FlowId f2 = network.start_flow({line.ab}, Mbps{50.0});
+  network.stop_flow(f2);
+  EXPECT_NEAR(network.flow_rate(f1).value(), 10.0, 1e-9);
+  EXPECT_EQ(network.active_flow_count(), 1u);
+}
+
+TEST(FluidNetwork, EmptyPathFlowRunsAtCap) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId local = network.start_flow({}, Mbps{80.0});
+  EXPECT_EQ(network.flow_rate(local), Mbps{80.0});
+}
+
+TEST(FluidNetwork, SaturatedLinkGrantsFloorRate) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.ab, Mbps{10.0});  // fully used by background
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab}, Mbps{5.0});
+  EXPECT_EQ(network.flow_rate(flow), kMinFlowRate);
+}
+
+TEST(FluidNetwork, BackgroundClampedToCapacity) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.ab, Mbps{99.0});  // trace exceeds line rate
+  FluidNetwork network{line.topo, traffic};
+  EXPECT_EQ(network.background(line.ab), Mbps{10.0});
+  EXPECT_DOUBLE_EQ(network.utilization(line.ab), 1.0);
+}
+
+TEST(FluidNetwork, UsedBandwidthIncludesFlows) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.ab, Mbps{2.0});
+  FluidNetwork network{line.topo, traffic};
+  network.start_flow({line.ab}, Mbps{3.0});
+  EXPECT_NEAR(network.used_bandwidth(line.ab).value(), 5.0, 1e-9);
+  EXPECT_NEAR(network.utilization(line.ab), 0.5, 1e-9);
+}
+
+TEST(FluidNetwork, TimeAdvancesBackgroundLoads) {
+  Line line;
+  TraceTraffic traffic;
+  traffic.add_sample(line.ab, SimTime{0.0}, Mbps{1.0});
+  traffic.add_sample(line.ab, SimTime{100.0}, Mbps{9.0});
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(flow).value(), 9.0, 1e-9);
+  network.set_time(SimTime{100.0});
+  EXPECT_NEAR(network.flow_rate(flow).value(), 1.0, 1e-9);
+}
+
+TEST(FluidNetwork, TimeCannotGoBackward) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  network.set_time(SimTime{10.0});
+  EXPECT_THROW(network.set_time(SimTime{5.0}), std::invalid_argument);
+}
+
+TEST(FluidNetwork, RejectsBadFlows) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  EXPECT_THROW(network.start_flow({line.ab}, Mbps{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(network.start_flow({LinkId{99}}, Mbps{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(network.stop_flow(FlowId{42}), std::out_of_range);
+  EXPECT_THROW(network.flow_rate(FlowId{42}), std::out_of_range);
+}
+
+TEST(FluidNetwork, DisjointFlowsDoNotInteract) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId f1 = network.start_flow({line.ab}, Mbps{50.0});
+  const FlowId f2 = network.start_flow({line.bc}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(f1).value(), 10.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(f2).value(), 10.0, 1e-9);
+}
+
+TEST(FluidNetwork, FlowPathAccessor) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId flow = network.start_flow({line.ab, line.bc}, Mbps{5.0});
+  EXPECT_EQ(network.flow_path(flow),
+            (std::vector<LinkId>{line.ab, line.bc}));
+  EXPECT_THROW(network.flow_path(FlowId{99}), std::out_of_range);
+}
+
+// --- Max–min fairness properties on random configurations ---
+
+class FluidFairnessProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidFairnessProperty, AllocationsFeasibleAndNonWasteful) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  // Random line network of 4 nodes / 3 links, random flows over sub-paths.
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i)));
+  }
+  std::vector<LinkId> links;
+  for (int i = 0; i < 3; ++i) {
+    links.push_back(
+        topo.add_link(nodes[i], nodes[i + 1], Mbps{rng.uniform(2.0, 20.0)}));
+  }
+  ConstantTraffic traffic;
+  for (const LinkId link : links) {
+    traffic.set_load(link, Mbps{rng.uniform(0.0, 5.0)});
+  }
+  FluidNetwork network{topo, traffic};
+
+  struct FlowSpec {
+    FlowId id;
+    std::vector<LinkId> path;
+    double cap;
+  };
+  std::vector<FlowSpec> flows;
+  const int flow_count = 1 + GetParam() % 6;
+  for (int f = 0; f < flow_count; ++f) {
+    const auto first = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const auto last =
+        static_cast<std::size_t>(rng.uniform_int(first, 2));
+    std::vector<LinkId> path(links.begin() + first,
+                             links.begin() + last + 1);
+    const double cap = rng.uniform(0.5, 15.0);
+    flows.push_back(FlowSpec{network.start_flow(path, Mbps{cap}), path, cap});
+  }
+
+  // Feasibility: no link oversubscribed by our flows (beyond the floor).
+  for (const LinkId link : links) {
+    double flow_sum = 0.0;
+    for (const FlowSpec& flow : flows) {
+      for (const LinkId l : flow.path) {
+        if (l == link) flow_sum += network.flow_rate(flow.id).value();
+      }
+    }
+    const double residual =
+        (topo.link(link).capacity - network.background(link)).value();
+    const double slack = kMinFlowRate.value() * flow_count + 1e-6;
+    EXPECT_LE(flow_sum, residual + slack) << "link " << link.value();
+  }
+
+  // No flow exceeds its cap (floor aside).
+  for (const FlowSpec& flow : flows) {
+    EXPECT_LE(network.flow_rate(flow.id).value(),
+              flow.cap + kMinFlowRate.value() + 1e-9);
+  }
+
+  // Non-wastefulness: every flow is limited by its cap or by a saturated
+  // link on its path.
+  for (const FlowSpec& flow : flows) {
+    const double rate = network.flow_rate(flow.id).value();
+    if (rate >= flow.cap - 1e-6) continue;  // cap-limited
+    bool bottlenecked = false;
+    for (const LinkId link : flow.path) {
+      double flow_sum = 0.0;
+      for (const FlowSpec& other : flows) {
+        for (const LinkId l : other.path) {
+          if (l == link) flow_sum += network.flow_rate(other.id).value();
+        }
+      }
+      const double residual =
+          (topo.link(link).capacity - network.background(link)).value();
+      if (flow_sum >= residual - 1e-6) bottlenecked = true;
+    }
+    EXPECT_TRUE(bottlenecked) << "flow neither cap- nor link-limited";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidFairnessProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace vod::net

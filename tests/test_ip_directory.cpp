@@ -1,0 +1,97 @@
+#include "service/ip_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod::service {
+namespace {
+
+TEST(Ipv4, ParsesDottedQuad) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value, 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value, 0xffffffffu);
+  EXPECT_EQ(Ipv4::parse("150.140.1.2").value,
+            (150u << 24) | (140u << 16) | (1u << 8) | 2u);
+}
+
+TEST(Ipv4, RoundTripsToString) {
+  EXPECT_EQ(Ipv4::parse("150.140.1.2").to_string(), "150.140.1.2");
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").to_string(), "0.0.0.0");
+}
+
+TEST(Ipv4, RejectsMalformedInput) {
+  EXPECT_THROW(Ipv4::parse(""), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.256"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1..2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.4 "), std::invalid_argument);
+}
+
+TEST(IpDirectory, ExactSubnetMatch) {
+  IpDirectory directory;
+  directory.add_subnet("150.140.0.0/16", NodeId{2});
+  EXPECT_EQ(directory.home_of("150.140.7.9"), NodeId{2});
+  EXPECT_FALSE(directory.home_of("150.141.0.1").has_value());
+}
+
+TEST(IpDirectory, LongestPrefixWins) {
+  IpDirectory directory;
+  directory.add_subnet("150.0.0.0/8", NodeId{1});
+  directory.add_subnet("150.140.0.0/16", NodeId{2});
+  directory.add_subnet("150.140.9.0/24", NodeId{3});
+  EXPECT_EQ(directory.home_of("150.1.1.1"), NodeId{1});
+  EXPECT_EQ(directory.home_of("150.140.1.1"), NodeId{2});
+  EXPECT_EQ(directory.home_of("150.140.9.1"), NodeId{3});
+}
+
+TEST(IpDirectory, InsertionOrderIrrelevant) {
+  IpDirectory directory;
+  directory.add_subnet("150.140.9.0/24", NodeId{3});
+  directory.add_subnet("150.0.0.0/8", NodeId{1});
+  EXPECT_EQ(directory.home_of("150.140.9.1"), NodeId{3});
+}
+
+TEST(IpDirectory, DefaultRouteViaZeroPrefix) {
+  IpDirectory directory;
+  directory.add_subnet("0.0.0.0/0", NodeId{7});
+  EXPECT_EQ(directory.home_of("8.8.8.8"), NodeId{7});
+}
+
+TEST(IpDirectory, HostRoute) {
+  IpDirectory directory;
+  directory.add_subnet("10.0.0.5/32", NodeId{4});
+  EXPECT_EQ(directory.home_of("10.0.0.5"), NodeId{4});
+  EXPECT_FALSE(directory.home_of("10.0.0.6").has_value());
+}
+
+TEST(IpDirectory, RejectsBadCidr) {
+  IpDirectory directory;
+  EXPECT_THROW(directory.add_subnet("10.0.0.0", NodeId{0}),
+               std::invalid_argument);
+  EXPECT_THROW(directory.add_subnet("10.0.0.0/33", NodeId{0}),
+               std::invalid_argument);
+  EXPECT_THROW(directory.add_subnet("10.0.0.0/x", NodeId{0}),
+               std::invalid_argument);
+  EXPECT_THROW(directory.add_subnet("10.0.0.0/8", NodeId{}),
+               std::invalid_argument);
+}
+
+TEST(IpDirectory, SubnetCount) {
+  IpDirectory directory;
+  EXPECT_EQ(directory.subnet_count(), 0u);
+  directory.add_subnet("10.0.0.0/8", NodeId{0});
+  directory.add_subnet("11.0.0.0/8", NodeId{1});
+  EXPECT_EQ(directory.subnet_count(), 2u);
+}
+
+TEST(IpDirectory, MaskedBaseAddressNormalized) {
+  IpDirectory directory;
+  // Host bits set in the base are ignored (standard CIDR semantics).
+  directory.add_subnet("150.140.77.1/16", NodeId{5});
+  EXPECT_EQ(directory.home_of("150.140.0.9"), NodeId{5});
+}
+
+}  // namespace
+}  // namespace vod::service

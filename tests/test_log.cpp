@@ -1,0 +1,75 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vod {
+namespace {
+
+/// RAII capture of the global logger configuration.
+class LoggerCapture {
+ public:
+  LoggerCapture() {
+    Logger::instance().set_stream(&captured_);
+    previous_level_ = Logger::instance().level();
+  }
+  ~LoggerCapture() {
+    Logger::instance().set_stream(&std::cerr);
+    Logger::instance().set_level(previous_level_);
+  }
+
+  [[nodiscard]] std::string text() const { return captured_.str(); }
+
+ private:
+  std::ostringstream captured_;
+  LogLevel previous_level_;
+};
+
+TEST(Logger, MessagesAtOrAboveLevelEmitted) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  VOD_LOG_INFO("visible " << 42);
+  EXPECT_NE(capture.text().find("[info] visible 42"), std::string::npos);
+}
+
+TEST(Logger, MessagesBelowLevelSuppressed) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  VOD_LOG_DEBUG("hidden");
+  VOD_LOG_INFO("also hidden");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logger, WarnAndErrorTagged) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  VOD_LOG_WARN("w");
+  VOD_LOG_ERROR("e");
+  EXPECT_NE(capture.text().find("[warn] w"), std::string::npos);
+  EXPECT_NE(capture.text().find("[error] e"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  VOD_LOG_ERROR("even errors");
+  EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logger, StreamExpressionNotEvaluatedWhenSuppressed) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  VOD_LOG_DEBUG("value " << expensive());
+  EXPECT_EQ(evaluations, 0);
+  VOD_LOG_ERROR("value " << expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,109 @@
+#include "routing/min_hop.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.h"
+#include "routing/dijkstra.h"
+
+namespace vod::routing {
+namespace {
+
+/// Square a-b-c-d-a plus heavy-weight diagonal a-c.
+Graph square_with_diagonal() {
+  Graph graph;
+  const NodeId a = graph.add_node("a");
+  const NodeId b = graph.add_node("b");
+  const NodeId c = graph.add_node("c");
+  const NodeId d = graph.add_node("d");
+  graph.add_undirected_edge(a, b, LinkId{0}, 100.0);
+  graph.add_undirected_edge(b, c, LinkId{1}, 100.0);
+  graph.add_undirected_edge(c, d, LinkId{2}, 100.0);
+  graph.add_undirected_edge(d, a, LinkId{3}, 100.0);
+  graph.add_undirected_edge(a, c, LinkId{4}, 1000.0);
+  return graph;
+}
+
+TEST(MinHop, IgnoresWeights) {
+  const Graph graph = square_with_diagonal();
+  // By weight, a->c would avoid the 1000 diagonal; by hops it takes it.
+  const auto path = min_hop_path(graph, NodeId{0}, NodeId{2});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 1.0);
+  EXPECT_EQ(path->links, std::vector<LinkId>{LinkId{4}});
+}
+
+TEST(MinHop, TrivialSelfPath) {
+  const Graph graph = square_with_diagonal();
+  const auto path = min_hop_path(graph, NodeId{0}, NodeId{0});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->cost, 0.0);
+  EXPECT_TRUE(path->links.empty());
+}
+
+TEST(MinHop, DisconnectedReturnsNullopt) {
+  Graph graph;
+  const NodeId a = graph.add_node();
+  graph.add_node();
+  EXPECT_FALSE(min_hop_path(graph, a, NodeId{1}).has_value());
+}
+
+TEST(MinHop, UnknownNodesThrow) {
+  Graph graph;
+  graph.add_node();
+  EXPECT_THROW(min_hop_path(graph, NodeId{0}, NodeId{9}),
+               std::invalid_argument);
+  EXPECT_THROW(min_hop_path(graph, NodeId{9}, NodeId{0}),
+               std::invalid_argument);
+}
+
+TEST(MinHop, DeterministicTieBreak) {
+  // Two 2-hop routes a->b->d and a->c->d: the lower-id intermediate wins.
+  Graph graph;
+  const NodeId a = graph.add_node();
+  const NodeId b = graph.add_node();
+  const NodeId c = graph.add_node();
+  const NodeId d = graph.add_node();
+  graph.add_undirected_edge(a, b, LinkId{0}, 1.0);
+  graph.add_undirected_edge(a, c, LinkId{1}, 1.0);
+  graph.add_undirected_edge(b, d, LinkId{2}, 1.0);
+  graph.add_undirected_edge(c, d, LinkId{3}, 1.0);
+  const auto path = min_hop_path(graph, a, d);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes[1], b);
+}
+
+class MinHopProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHopProperty, NeverLongerThanWeightedShortestPathHops) {
+  Rng rng{static_cast<std::uint64_t>(GetParam())};
+  Graph graph;
+  const std::size_t n = 8;
+  for (std::size_t i = 0; i < n; ++i) graph.add_node();
+  LinkId::underlying_type next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.bernoulli(0.5)) {
+        graph.add_undirected_edge(
+            NodeId{static_cast<NodeId::underlying_type>(i)},
+            NodeId{static_cast<NodeId::underlying_type>(j)}, LinkId{next++},
+            rng.uniform(0.1, 5.0));
+      }
+    }
+  }
+  for (std::size_t v = 1; v < n; ++v) {
+    const NodeId target{static_cast<NodeId::underlying_type>(v)};
+    const auto hops = min_hop_path(graph, NodeId{0}, target);
+    const auto weighted = shortest_path(graph, NodeId{0}, target);
+    EXPECT_EQ(hops.has_value(), weighted.has_value());
+    if (hops && weighted) {
+      EXPECT_LE(hops->hop_count(), weighted->hop_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinHopProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace vod::routing

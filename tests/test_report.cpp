@@ -1,0 +1,105 @@
+#include "service/report.h"
+
+#include <gtest/gtest.h>
+
+#include "grnet/grnet.h"
+
+namespace vod::service {
+namespace {
+
+const db::AdminCredential kAdmin{"secret"};
+
+struct Fixture {
+  grnet::CaseStudy g = grnet::build_case_study();
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+  std::unique_ptr<VodService> service;
+  VideoId movie;
+
+  Fixture() {
+    ServiceOptions options;
+    options.cluster_size = MegaBytes{10.0};
+    options.dma.admission_threshold = 1'000'000;
+    service = std::make_unique<VodService>(sim, g.topology, network,
+                                           options, kAdmin);
+    movie = service->add_video("movie", MegaBytes{40.0}, Mbps{2.0});
+    service->place_initial_copy(g.thessaloniki, movie);
+    service->start();
+  }
+};
+
+TEST(ServiceReport, EmptyServiceIsAllZero) {
+  Fixture fx;
+  const ServiceReport report = build_report(*fx.service, Mbps{0.0});
+  EXPECT_EQ(report.sessions, 0u);
+  EXPECT_EQ(report.finished, 0u);
+  EXPECT_DOUBLE_EQ(report.qos_ok_share(), 0.0);
+}
+
+TEST(ServiceReport, CountsOutcomes) {
+  Fixture fx;
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.service->request_at(fx.g.heraklio, fx.movie);
+  // An unsatisfiable request (no holder) fails immediately.
+  const VideoId ghost =
+      fx.service->add_video("ghost", MegaBytes{10.0}, Mbps{2.0});
+  fx.service->request_at(fx.g.patra, ghost);
+  fx.sim.run_until(from_hours(1.0));
+
+  const ServiceReport report = build_report(*fx.service, Mbps{0.0});
+  EXPECT_EQ(report.sessions, 3u);
+  EXPECT_EQ(report.finished, 2u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.in_flight, 0u);
+  EXPECT_EQ(report.qos_ok, 2u);  // idle network: everyone meets bitrate
+  EXPECT_DOUBLE_EQ(report.qos_ok_share(), 1.0);
+  EXPECT_GT(report.download_seconds.median(), 0.0);
+}
+
+TEST(ServiceReport, InFlightSessionsSeparated) {
+  Fixture fx;
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(SimTime{1.0});  // far from finished
+  const ServiceReport report = build_report(*fx.service, Mbps{0.0});
+  EXPECT_EQ(report.in_flight, 1u);
+  EXPECT_EQ(report.finished, 0u);
+}
+
+TEST(ServiceReport, ExplicitFloorApplied) {
+  Fixture fx;
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(from_hours(1.0));
+  // Transfer runs at the 2 Mbps bottleneck: floor 1 passes, floor 50
+  // fails.
+  EXPECT_EQ(build_report(*fx.service, Mbps{1.0}).qos_ok, 1u);
+  EXPECT_EQ(build_report(*fx.service, Mbps{50.0}).qos_ok, 0u);
+}
+
+TEST(ServiceReport, FormatContainsKeyRows) {
+  Fixture fx;
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.sim.run_until(from_hours(1.0));
+  const std::string text =
+      format_report(build_report(*fx.service, Mbps{0.0}));
+  EXPECT_NE(text.find("sessions"), std::string::npos);
+  EXPECT_NE(text.find("download median"), std::string::npos);
+  EXPECT_NE(text.find("QoS-ok (floor = title bitrate)"),
+            std::string::npos);
+}
+
+TEST(ServiceReport, CsvHasHeaderAndOneRowPerSession) {
+  Fixture fx;
+  fx.service->request_at(fx.g.patra, fx.movie);
+  fx.service->request_at(fx.g.xanthi, fx.movie);
+  fx.sim.run_until(from_hours(1.0));
+  const std::string csv = report_sessions_csv(*fx.service);
+  // Header + 2 rows = 3 newline-terminated lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("session,home,title"), std::string::npos);
+  EXPECT_NE(csv.find("movie"), std::string::npos);
+  EXPECT_NE(csv.find("finished"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vod::service

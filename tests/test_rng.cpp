@@ -1,0 +1,135 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    any_different |= (a.uniform() != b.uniform());
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform(2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform(3.0, 2.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{7};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsEmptyRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMeanApproximatesInverseRate) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng{7};
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalZeroStddevIsMean) {
+  Rng rng{7};
+  EXPECT_DOUBLE_EQ(rng.normal(3.0, 0.0), 3.0);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng{7};
+  EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng{7};
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, BernoulliRejectsOutOfRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rng.bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexHonorsZeroWeights) {
+  Rng rng{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.weighted_index({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexRejectsEmpty) {
+  Rng rng{7};
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRoughProportions) {
+  Rng rng{13};
+  int counts[2] = {0, 0};
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index({1.0, 3.0})];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.03);
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,37 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace vod {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(SimTime{}.seconds(), 0.0);
+}
+
+TEST(SimTime, AddDuration) {
+  EXPECT_DOUBLE_EQ((SimTime{10.0} + 5.0).seconds(), 15.0);
+}
+
+TEST(SimTime, SubtractDuration) {
+  EXPECT_DOUBLE_EQ((SimTime{10.0} - 4.0).seconds(), 6.0);
+}
+
+TEST(SimTime, DifferenceIsDuration) {
+  EXPECT_DOUBLE_EQ(SimTime{10.0} - SimTime{4.0}, 6.0);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime{1.0}, SimTime{2.0});
+  EXPECT_EQ(SimTime{2.0}, SimTime{2.0});
+}
+
+TEST(SimTime, HelperConversions) {
+  EXPECT_DOUBLE_EQ(from_minutes(2.0).seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(from_hours(8.0).seconds(), 28800.0);
+  EXPECT_DOUBLE_EQ(minutes(1.5), 90.0);
+  EXPECT_DOUBLE_EQ(hours(0.5), 1800.0);
+}
+
+}  // namespace
+}  // namespace vod

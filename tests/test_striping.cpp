@@ -1,0 +1,144 @@
+#include "storage/striping.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace vod::storage {
+namespace {
+
+TEST(Striping, PartCountIsCeilOfSizeOverCluster) {
+  // 100 MB at c=30 -> 4 parts (30+30+30+10).
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 8);
+  EXPECT_EQ(plan.part_count(), 4u);
+}
+
+TEST(Striping, ExactMultipleHasNoShortPart) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{90.0}, MegaBytes{30.0}, 8);
+  EXPECT_EQ(plan.part_count(), 3u);
+  for (const MegaBytes size : plan.part_sizes) {
+    EXPECT_EQ(size, MegaBytes{30.0});
+  }
+}
+
+TEST(Striping, LastPartCarriesRemainder) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 8);
+  EXPECT_EQ(plan.part_sizes.back(), MegaBytes{10.0});
+}
+
+TEST(Striping, MoreDisksThanParts_OnePartPerDisk) {
+  // n > p: "one video part is stored in each one of the first p disks".
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 8);
+  EXPECT_EQ(plan.part_to_disk, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Striping, FewerDisksThanParts_CyclicWrapFromDiskZero) {
+  // n < p: "the rest p-n parts are distributed to the same disks starting
+  // from disk 1" (i.e. wrapping back to the first disk).
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{20.0}, 3);
+  EXPECT_EQ(plan.part_to_disk, (std::vector<std::size_t>{0, 1, 2, 0, 1}));
+}
+
+TEST(Striping, SingleDiskTakesEverything) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 1);
+  EXPECT_EQ(plan.part_to_disk, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(Striping, VideoSmallerThanClusterIsOnePart) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{5.0}, MegaBytes{30.0}, 4);
+  EXPECT_EQ(plan.part_count(), 1u);
+  EXPECT_EQ(plan.part_sizes[0], MegaBytes{5.0});
+}
+
+TEST(Striping, TotalSizeConserved) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{123.456}, MegaBytes{7.0}, 5);
+  EXPECT_NEAR(plan.total_size().value(), 123.456, 1e-9);
+}
+
+TEST(Striping, PerDiskBytesSumToVideoSize) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 4);
+  const auto per_disk = plan.per_disk_bytes(4);
+  double sum = 0.0;
+  for (const MegaBytes b : per_disk) sum += b.value();
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Striping, PerDiskBytesRejectsShrunkArray) {
+  const auto plan =
+      plan_striping(VideoId{1}, MegaBytes{100.0}, MegaBytes{30.0}, 4);
+  EXPECT_THROW(plan.per_disk_bytes(2), std::invalid_argument);
+}
+
+TEST(Striping, RejectsBadArguments) {
+  EXPECT_THROW(
+      plan_striping(VideoId{}, MegaBytes{1.0}, MegaBytes{1.0}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      plan_striping(VideoId{1}, MegaBytes{0.0}, MegaBytes{1.0}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      plan_striping(VideoId{1}, MegaBytes{1.0}, MegaBytes{0.0}, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      plan_striping(VideoId{1}, MegaBytes{1.0}, MegaBytes{1.0}, 0),
+      std::invalid_argument);
+}
+
+// --- Parameterized sweep over (size, cluster, disks) ---
+
+class StripingProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(StripingProperty, CyclicInvariantsHold) {
+  const auto [size, cluster, disks] = GetParam();
+  const auto plan = plan_striping(VideoId{1}, MegaBytes{size},
+                                  MegaBytes{cluster}, disks);
+  const auto p = static_cast<std::size_t>(std::ceil(size / cluster - 1e-12));
+  ASSERT_EQ(plan.part_count(), p);
+
+  // Rule: part i on disk i mod n.
+  for (std::size_t i = 0; i < p; ++i) {
+    EXPECT_EQ(plan.part_to_disk[i], i % static_cast<std::size_t>(disks));
+  }
+  // Sizes: all full clusters except possibly the last; total conserved.
+  double total = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (i + 1 < p) {
+      EXPECT_DOUBLE_EQ(plan.part_sizes[i].value(), cluster);
+    } else {
+      EXPECT_GT(plan.part_sizes[i].value(), 0.0);
+      EXPECT_LE(plan.part_sizes[i].value(), cluster + 1e-9);
+    }
+    total += plan.part_sizes[i].value();
+  }
+  EXPECT_NEAR(total, size, 1e-9);
+
+  // Balance: disk loads differ by at most one cluster.
+  const auto per_disk = plan.per_disk_bytes(disks);
+  double lo = 1e18, hi = 0.0;
+  for (const MegaBytes b : per_disk) {
+    lo = std::min(lo, b.value());
+    hi = std::max(hi, b.value());
+  }
+  EXPECT_LE(hi - lo, cluster + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StripingProperty,
+    ::testing::Combine(::testing::Values(10.0, 100.0, 700.0, 1800.0),
+                       ::testing::Values(1.0, 16.0, 50.0, 64.0),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+}  // namespace
+}  // namespace vod::storage

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable table{{"Link", "8am"}};
+  table.add_row({"Patra-Athens", "0.083"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Link"), std::string::npos);
+  EXPECT_NE(out.find("Patra-Athens"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+  EXPECT_NE(out.find(" | "), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable table{{"A", "B"}};
+  table.add_row({"long-cell-content", "x"});
+  table.add_row({"s", "y"});
+  const std::string out = table.render();
+  // Every line must have the separator at the same offset.
+  std::size_t first_sep = out.find(" | ");
+  ASSERT_NE(first_sep, std::string::npos);
+  std::size_t line_start = 0;
+  int lines_checked = 0;
+  while (line_start < out.size()) {
+    const std::size_t line_end = out.find('\n', line_start);
+    const std::string line = out.substr(line_start, line_end - line_start);
+    if (line.find(" | ") != std::string::npos) {
+      EXPECT_EQ(line.find(" | "), first_sep);
+      ++lines_checked;
+    }
+    line_start = line_end + 1;
+  }
+  EXPECT_EQ(lines_checked, 3);  // header + 2 rows
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+  TextTable table{{"A", "B", "C"}};
+  table.add_row({"only-a"});
+  EXPECT_NE(table.render().find("only-a"), std::string::npos);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable table{{"A"}};
+  EXPECT_THROW(table.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table{{"A"}};
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(0.083, 3), "0.083");
+  EXPECT_EQ(TextTable::num(1.0, 2), "1.00");
+  EXPECT_EQ(TextTable::num(0.07501, 5), "0.07501");
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,80 @@
+#include "routing/trace_format.h"
+
+#include <gtest/gtest.h>
+
+#include "grnet/grnet.h"
+#include "vra/validation.h"
+
+namespace vod::routing {
+namespace {
+
+Graph triangle() {
+  Graph graph;
+  const NodeId a = graph.add_node("A");
+  const NodeId b = graph.add_node("B");
+  const NodeId c = graph.add_node("C");
+  graph.add_undirected_edge(a, b, LinkId{0}, 1.0);
+  graph.add_undirected_edge(b, c, LinkId{1}, 1.0);
+  graph.add_undirected_edge(a, c, LinkId{2}, 3.0);
+  return graph;
+}
+
+TEST(TraceFormat, HeaderListsNonSourceColumns) {
+  const Graph graph = triangle();
+  DijkstraTrace trace;
+  dijkstra(graph, NodeId{0}, &trace);
+  const std::string out = format_dijkstra_trace(graph, NodeId{0}, trace);
+  EXPECT_NE(out.find("Step"), std::string::npos);
+  EXPECT_NE(out.find("Nodes"), std::string::npos);
+  EXPECT_NE(out.find("DB"), std::string::npos);
+  EXPECT_NE(out.find("DC"), std::string::npos);
+  // The source has no distance column.
+  EXPECT_EQ(out.find("DA"), std::string::npos);
+}
+
+TEST(TraceFormat, OneRowPerStepWithGrowingPermanentSet) {
+  const Graph graph = triangle();
+  DijkstraTrace trace;
+  dijkstra(graph, NodeId{0}, &trace);
+  const std::string out = format_dijkstra_trace(graph, NodeId{0}, trace);
+  EXPECT_NE(out.find("{A}"), std::string::npos);
+  EXPECT_NE(out.find("{A,B}"), std::string::npos);
+  EXPECT_NE(out.find("{A,B,C}"), std::string::npos);
+}
+
+TEST(TraceFormat, UnreachedPrintsPaperStyleR) {
+  Graph graph;
+  const NodeId a = graph.add_node("A");
+  graph.add_node("B");  // isolated
+  DijkstraTrace trace;
+  dijkstra(graph, a, &trace);
+  const std::string out = format_dijkstra_trace(graph, a, trace);
+  EXPECT_NE(out.find("R"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TraceFormat, PathsUsePaperCommaNotation) {
+  const Graph graph = triangle();
+  DijkstraTrace trace;
+  dijkstra(graph, NodeId{0}, &trace);
+  const std::string out = format_dijkstra_trace(graph, NodeId{0}, trace);
+  EXPECT_NE(out.find("A,B,C"), std::string::npos);  // improved C path
+}
+
+TEST(TraceFormat, GrnetExperimentBMatchesPaperCells) {
+  // The full Table 5 rendering must contain the paper's key cells.
+  const grnet::CaseStudy g = grnet::build_case_study();
+  const auto stats = grnet::table2_stats(g, grnet::TimeOfDay::k10am);
+  const vra::LvnCalculator calc{g.topology, stats};
+  const Graph graph = calc.build_weighted_graph();
+  DijkstraTrace trace;
+  dijkstra(graph, g.patra, &trace);
+  const std::string out = format_dijkstra_trace(graph, g.patra, trace);
+  EXPECT_NE(out.find("U2,U3,U4"), std::string::npos);     // best U4 path
+  EXPECT_NE(out.find("U2,U1,U6,U5"), std::string::npos);  // best U5 path
+  EXPECT_NE(out.find("{U2,U3}"), std::string::npos);      // step 2 set
+  EXPECT_NE(out.find("1.0122"), std::string::npos);       // D4 ~ 1.007
+}
+
+}  // namespace
+}  // namespace vod::routing

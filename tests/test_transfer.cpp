@@ -1,0 +1,222 @@
+#include "net/transfer.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace vod::net {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  NodeId a, b, c;
+  LinkId ab, bc;
+  NoTraffic no_traffic;
+
+  Fixture() {
+    a = topo.add_node("a");
+    b = topo.add_node("b");
+    c = topo.add_node("c");
+    ab = topo.add_link(a, b, Mbps{8.0});
+    bc = topo.add_link(b, c, Mbps{8.0});
+  }
+};
+
+TEST(TransferManager, SingleTransferCompletesAtExactTime) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  std::optional<double> done_at;
+  // 8 MB = 64 megabits over 8 Mbps -> 8 s.
+  manager.start_transfer({fx.ab}, MegaBytes{8.0}, Mbps{100.0},
+                         [&](SimTime t) { done_at = t.seconds(); });
+  sim.run();
+  ASSERT_TRUE(done_at.has_value());
+  EXPECT_NEAR(*done_at, 8.0, 1e-9);
+}
+
+TEST(TransferManager, RateCapSlowsTransfer) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  std::optional<double> done_at;
+  manager.start_transfer({fx.ab}, MegaBytes{8.0}, Mbps{4.0},
+                         [&](SimTime t) { done_at = t.seconds(); });
+  sim.run();
+  EXPECT_NEAR(*done_at, 16.0, 1e-9);
+}
+
+TEST(TransferManager, LocalTransferUsesOwnCap) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  std::optional<double> done_at;
+  manager.start_transfer({}, MegaBytes{80.0}, Mbps{80.0},
+                         [&](SimTime t) { done_at = t.seconds(); });
+  sim.run();
+  EXPECT_NEAR(*done_at, 8.0, 1e-9);
+}
+
+TEST(TransferManager, TwoTransfersShareThenSpeedUp) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  // Both on ab (8 Mbps): 4 Mbps each. First moves 4 MB (32 Mb) -> done at
+  // t=8.  Second (8 MB) has 4 MB left at t=8, then full 8 Mbps -> +4 s.
+  std::optional<double> first_done, second_done;
+  manager.start_transfer({fx.ab}, MegaBytes{4.0}, Mbps{100.0},
+                         [&](SimTime t) { first_done = t.seconds(); });
+  manager.start_transfer({fx.ab}, MegaBytes{8.0}, Mbps{100.0},
+                         [&](SimTime t) { second_done = t.seconds(); });
+  sim.run();
+  ASSERT_TRUE(first_done && second_done);
+  EXPECT_NEAR(*first_done, 8.0, 1e-9);
+  EXPECT_NEAR(*second_done, 12.0, 1e-9);
+}
+
+TEST(TransferManager, StaggeredStartAccountsEarlierProgress) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  std::optional<double> done_at;
+  manager.start_transfer({fx.ab}, MegaBytes{8.0}, Mbps{100.0},
+                         [&](SimTime t) { done_at = t.seconds(); });
+  // At t=4 the first transfer has 4 MB left; a second joins and halves the
+  // rate: remaining 32 Mb at 4 Mbps -> done at t=12.
+  sim.schedule_at(SimTime{4.0}, [&](SimTime) {
+    manager.start_transfer({fx.ab}, MegaBytes{100.0}, Mbps{100.0},
+                           [](SimTime) {});
+  });
+  sim.run_until(SimTime{50.0});
+  ASSERT_TRUE(done_at.has_value());
+  EXPECT_NEAR(*done_at, 12.0, 1e-9);
+}
+
+TEST(TransferManager, BackgroundTrafficChangeReschedules) {
+  Fixture fx;
+  TraceTraffic trace;
+  trace.add_sample(fx.ab, SimTime{0.0}, Mbps{0.0});
+  trace.add_sample(fx.ab, SimTime{4.0}, Mbps{4.0});
+  FluidNetwork network{fx.topo, trace};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  // 8 Mbps for 4 s (4 MB moved), then 4 Mbps: remaining 4 MB takes 8 s.
+  std::optional<double> done_at;
+  manager.start_transfer({fx.ab}, MegaBytes{8.0}, Mbps{100.0},
+                         [&](SimTime t) { done_at = t.seconds(); });
+  sim.run();
+  ASSERT_TRUE(done_at.has_value());
+  EXPECT_NEAR(*done_at, 12.0, 1e-9);
+}
+
+TEST(TransferManager, CancelPreventsCompletion) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  bool completed = false;
+  const FlowId id = manager.start_transfer(
+      {fx.ab}, MegaBytes{8.0}, Mbps{100.0},
+      [&](SimTime) { completed = true; });
+  sim.schedule_at(SimTime{2.0}, [&](SimTime) { manager.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(manager.active_count(), 0u);
+  EXPECT_EQ(network.active_flow_count(), 0u);
+}
+
+TEST(TransferManager, CancelUnknownThrows) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+  EXPECT_THROW(manager.cancel(FlowId{9}), std::out_of_range);
+}
+
+TEST(TransferManager, RemainingReportsLiveProgress) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  const FlowId id = manager.start_transfer({fx.ab}, MegaBytes{8.0},
+                                           Mbps{100.0}, [](SimTime) {});
+  EXPECT_NEAR(manager.remaining(id).value(), 8.0, 1e-9);
+  sim.schedule_at(SimTime{4.0}, [&](SimTime) {
+    EXPECT_NEAR(manager.remaining(id).value(), 4.0, 1e-6);
+  });
+  sim.run_until(SimTime{4.0});
+  ASSERT_TRUE(manager.active(id));
+}
+
+TEST(TransferManager, CompletionCallbackMayStartNextTransfer) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  // Chain two 4 MB transfers (the cluster-fetch pattern).
+  std::vector<double> completions;
+  manager.start_transfer({fx.ab}, MegaBytes{4.0}, Mbps{100.0},
+                         [&](SimTime t1) {
+                           completions.push_back(t1.seconds());
+                           manager.start_transfer(
+                               {fx.ab, fx.bc}, MegaBytes{4.0}, Mbps{100.0},
+                               [&](SimTime t2) {
+                                 completions.push_back(t2.seconds());
+                               });
+                         });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_NEAR(completions[0], 4.0, 1e-9);
+  EXPECT_NEAR(completions[1], 8.0, 1e-9);
+}
+
+TEST(TransferManager, RejectsBadArguments) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+  EXPECT_THROW(manager.start_transfer({fx.ab}, MegaBytes{0.0}, Mbps{1.0},
+                                      [](SimTime) {}),
+               std::invalid_argument);
+  EXPECT_THROW(manager.start_transfer({fx.ab}, MegaBytes{1.0}, Mbps{1.0},
+                                      TransferManager::CompletionCallback{}),
+               std::invalid_argument);
+}
+
+TEST(TransferManager, ManySequentialTransfersStayExact) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  int completed = 0;
+  std::function<void(SimTime)> chain = [&](SimTime) {
+    if (++completed < 10) {
+      manager.start_transfer({fx.ab}, MegaBytes{1.0}, Mbps{8.0}, chain);
+    }
+  };
+  manager.start_transfer({fx.ab}, MegaBytes{1.0}, Mbps{8.0}, chain);
+  sim.run();
+  EXPECT_EQ(completed, 10);
+  // Each 1 MB at 8 Mbps takes exactly 1 s.
+  EXPECT_NEAR(sim.now().seconds(), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vod::net

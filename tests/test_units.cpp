@@ -1,0 +1,87 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vod {
+namespace {
+
+TEST(Mbps, ValueRoundTrips) {
+  EXPECT_DOUBLE_EQ(Mbps{2.0}.value(), 2.0);
+}
+
+TEST(Mbps, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Mbps{2.0}.kilobits_per_sec(), 2000.0);
+  EXPECT_DOUBLE_EQ(Mbps{2.0}.bits_per_sec(), 2e6);
+  EXPECT_DOUBLE_EQ(kilobits_per_sec(1820).value(), 1.82);
+  EXPECT_DOUBLE_EQ(bits_per_sec(100).value(), 1e-4);
+}
+
+TEST(Mbps, Arithmetic) {
+  EXPECT_EQ(Mbps{1.0} + Mbps{2.0}, Mbps{3.0});
+  EXPECT_EQ(Mbps{3.0} - Mbps{2.0}, Mbps{1.0});
+  EXPECT_EQ(Mbps{2.0} * 3.0, Mbps{6.0});
+  EXPECT_EQ(3.0 * Mbps{2.0}, Mbps{6.0});
+  EXPECT_EQ(Mbps{6.0} / 3.0, Mbps{2.0});
+}
+
+TEST(Mbps, RatioIsDimensionless) {
+  const double utilization = Mbps{1.82} / Mbps{2.0};
+  EXPECT_DOUBLE_EQ(utilization, 0.91);
+}
+
+TEST(Mbps, CompoundAssignment) {
+  Mbps v{1.0};
+  v += Mbps{2.0};
+  EXPECT_EQ(v, Mbps{3.0});
+  v -= Mbps{0.5};
+  EXPECT_EQ(v, Mbps{2.5});
+}
+
+TEST(Mbps, Ordering) {
+  EXPECT_LT(Mbps{1.0}, Mbps{2.0});
+  EXPECT_GE(Mbps{2.0}, Mbps{2.0});
+}
+
+TEST(MegaBytes, Megabits) {
+  EXPECT_DOUBLE_EQ(MegaBytes{100.0}.megabits(), 800.0);
+}
+
+TEST(MegaBytes, GigabytesHelper) {
+  EXPECT_DOUBLE_EQ(gigabytes(2.0).value(), 2048.0);
+}
+
+TEST(MegaBytes, Arithmetic) {
+  EXPECT_EQ(MegaBytes{1.0} + MegaBytes{2.0}, MegaBytes{3.0});
+  EXPECT_EQ(MegaBytes{3.0} - MegaBytes{1.0}, MegaBytes{2.0});
+  EXPECT_EQ(MegaBytes{2.0} * 2.0, MegaBytes{4.0});
+  EXPECT_DOUBLE_EQ(MegaBytes{4.0} / MegaBytes{2.0}, 2.0);
+}
+
+TEST(TransferSeconds, BasicComputation) {
+  // 100 MB over 8 Mbps: 800 megabits / 8 = 100 s.
+  EXPECT_DOUBLE_EQ(transfer_seconds(MegaBytes{100.0}, Mbps{8.0}), 100.0);
+}
+
+TEST(TransferSeconds, RejectsNonPositiveRate) {
+  EXPECT_THROW(transfer_seconds(MegaBytes{1.0}, Mbps{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(transfer_seconds(MegaBytes{1.0}, Mbps{-1.0}),
+               std::invalid_argument);
+}
+
+TEST(RateForTransfer, InvertsTransferSeconds) {
+  const MegaBytes size{50.0};
+  const Mbps rate{4.0};
+  const double t = transfer_seconds(size, rate);
+  EXPECT_NEAR(rate_for_transfer(size, t).value(), rate.value(), 1e-12);
+}
+
+TEST(RateForTransfer, RejectsNonPositiveDuration) {
+  EXPECT_THROW(rate_for_transfer(MegaBytes{1.0}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vod
