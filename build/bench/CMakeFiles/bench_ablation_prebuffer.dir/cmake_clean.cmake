@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prebuffer.dir/bench_ablation_prebuffer.cpp.o"
+  "CMakeFiles/bench_ablation_prebuffer.dir/bench_ablation_prebuffer.cpp.o.d"
+  "bench_ablation_prebuffer"
+  "bench_ablation_prebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_admission_control.dir/bench_admission_control.cpp.o"
+  "CMakeFiles/bench_admission_control.dir/bench_admission_control.cpp.o.d"
+  "bench_admission_control"
+  "bench_admission_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_admission_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_striping.dir/bench_distributed_striping.cpp.o"
+  "CMakeFiles/bench_distributed_striping.dir/bench_distributed_striping.cpp.o.d"
+  "bench_distributed_striping"
+  "bench_distributed_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dma_emergence.dir/bench_dma_emergence.cpp.o"
+  "CMakeFiles/bench_dma_emergence.dir/bench_dma_emergence.cpp.o.d"
+  "bench_dma_emergence"
+  "bench_dma_emergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dma_emergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

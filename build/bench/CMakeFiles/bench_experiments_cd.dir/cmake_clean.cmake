@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_experiments_cd.dir/bench_experiments_cd.cpp.o"
+  "CMakeFiles/bench_experiments_cd.dir/bench_experiments_cd.cpp.o.d"
+  "bench_experiments_cd"
+  "bench_experiments_cd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_experiments_cd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

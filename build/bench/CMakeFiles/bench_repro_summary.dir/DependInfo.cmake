@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_repro_summary.cpp" "bench/CMakeFiles/bench_repro_summary.dir/bench_repro_summary.cpp.o" "gcc" "bench/CMakeFiles/bench_repro_summary.dir/bench_repro_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vod_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/vod_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vod_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/vod_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vod_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vod_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/vra/CMakeFiles/vod_vra.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vod_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/vod_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/vod_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/service/CMakeFiles/vod_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/grnet/CMakeFiles/vod_grnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repro_summary.dir/bench_repro_summary.cpp.o"
+  "CMakeFiles/bench_repro_summary.dir/bench_repro_summary.cpp.o.d"
+  "bench_repro_summary"
+  "bench_repro_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repro_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_network_status.dir/bench_table2_network_status.cpp.o"
+  "CMakeFiles/bench_table2_network_status.dir/bench_table2_network_status.cpp.o.d"
+  "bench_table2_network_status"
+  "bench_table2_network_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_network_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lvn.dir/bench_table3_lvn.cpp.o"
+  "CMakeFiles/bench_table3_lvn.dir/bench_table3_lvn.cpp.o.d"
+  "bench_table3_lvn"
+  "bench_table3_lvn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lvn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_experiment_b.dir/bench_table5_experiment_b.cpp.o"
+  "CMakeFiles/bench_table5_experiment_b.dir/bench_table5_experiment_b.cpp.o.d"
+  "bench_table5_experiment_b"
+  "bench_table5_experiment_b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_experiment_b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

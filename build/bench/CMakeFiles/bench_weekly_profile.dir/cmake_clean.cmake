@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weekly_profile.dir/bench_weekly_profile.cpp.o"
+  "CMakeFiles/bench_weekly_profile.dir/bench_weekly_profile.cpp.o.d"
+  "bench_weekly_profile"
+  "bench_weekly_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weekly_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_streaming.dir/dynamic_streaming.cpp.o"
+  "CMakeFiles/dynamic_streaming.dir/dynamic_streaming.cpp.o.d"
+  "dynamic_streaming"
+  "dynamic_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grnet_case_study.dir/grnet_case_study.cpp.o"
+  "CMakeFiles/grnet_case_study.dir/grnet_case_study.cpp.o.d"
+  "grnet_case_study"
+  "grnet_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grnet_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_demo.dir/striping_demo.cpp.o"
+  "CMakeFiles/striping_demo.dir/striping_demo.cpp.o.d"
+  "striping_demo"
+  "striping_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

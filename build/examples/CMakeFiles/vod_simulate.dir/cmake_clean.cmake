@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_simulate.dir/vod_simulate.cpp.o"
+  "CMakeFiles/vod_simulate.dir/vod_simulate.cpp.o.d"
+  "vod_simulate"
+  "vod_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;11;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grnet_case_study "/root/repo/build/examples/grnet_case_study")
+set_tests_properties(example_grnet_case_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;12;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_streaming "/root/repo/build/examples/dynamic_streaming")
+set_tests_properties(example_dynamic_streaming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;13;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_striping_demo "/root/repo/build/examples/striping_demo")
+set_tests_properties(example_striping_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;14;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_failover "/root/repo/build/examples/failover")
+set_tests_properties(example_failover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;15;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spec_driven "/root/repo/build/examples/spec_driven")
+set_tests_properties(example_spec_driven PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;16;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_admin_tour "/root/repo/build/examples/admin_tour")
+set_tests_properties(example_admin_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;17;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vod_simulate "/root/repo/build/examples/vod_simulate")
+set_tests_properties(example_vod_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;18;vod_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vod_simulate_campus "/root/repo/build/examples/vod_simulate" "/root/repo/examples/data/campus.spec" "/root/repo/examples/data/campus_trace.csv" "2" "30")
+set_tests_properties(example_vod_simulate_campus PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("routing")
+subdirs("net")
+subdirs("db")
+subdirs("snmp")
+subdirs("storage")
+subdirs("dma")
+subdirs("vra")
+subdirs("workload")
+subdirs("stream")
+subdirs("baselines")
+subdirs("service")
+subdirs("grnet")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_baselines.dir/cache_baselines.cpp.o"
+  "CMakeFiles/vod_baselines.dir/cache_baselines.cpp.o.d"
+  "CMakeFiles/vod_baselines.dir/selection_baselines.cpp.o"
+  "CMakeFiles/vod_baselines.dir/selection_baselines.cpp.o.d"
+  "libvod_baselines.a"
+  "libvod_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_common.dir/csv.cpp.o"
+  "CMakeFiles/vod_common.dir/csv.cpp.o.d"
+  "CMakeFiles/vod_common.dir/table.cpp.o"
+  "CMakeFiles/vod_common.dir/table.cpp.o.d"
+  "libvod_common.a"
+  "libvod_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

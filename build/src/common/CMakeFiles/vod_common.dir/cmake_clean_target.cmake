@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvod_common.a"
+)

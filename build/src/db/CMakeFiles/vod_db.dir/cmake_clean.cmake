@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_db.dir/database.cpp.o"
+  "CMakeFiles/vod_db.dir/database.cpp.o.d"
+  "libvod_db.a"
+  "libvod_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_dma.dir/dma_cache.cpp.o"
+  "CMakeFiles/vod_dma.dir/dma_cache.cpp.o.d"
+  "libvod_dma.a"
+  "libvod_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_grnet.dir/grnet.cpp.o"
+  "CMakeFiles/vod_grnet.dir/grnet.cpp.o.d"
+  "libvod_grnet.a"
+  "libvod_grnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_grnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fluid.cpp" "src/net/CMakeFiles/vod_net.dir/fluid.cpp.o" "gcc" "src/net/CMakeFiles/vod_net.dir/fluid.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/vod_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/vod_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/trace_io.cpp" "src/net/CMakeFiles/vod_net.dir/trace_io.cpp.o" "gcc" "src/net/CMakeFiles/vod_net.dir/trace_io.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/vod_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/vod_net.dir/traffic.cpp.o.d"
+  "/root/repo/src/net/transfer.cpp" "src/net/CMakeFiles/vod_net.dir/transfer.cpp.o" "gcc" "src/net/CMakeFiles/vod_net.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vod_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vod_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

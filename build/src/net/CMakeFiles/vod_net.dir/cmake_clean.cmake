@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_net.dir/fluid.cpp.o"
+  "CMakeFiles/vod_net.dir/fluid.cpp.o.d"
+  "CMakeFiles/vod_net.dir/topology.cpp.o"
+  "CMakeFiles/vod_net.dir/topology.cpp.o.d"
+  "CMakeFiles/vod_net.dir/trace_io.cpp.o"
+  "CMakeFiles/vod_net.dir/trace_io.cpp.o.d"
+  "CMakeFiles/vod_net.dir/traffic.cpp.o"
+  "CMakeFiles/vod_net.dir/traffic.cpp.o.d"
+  "CMakeFiles/vod_net.dir/transfer.cpp.o"
+  "CMakeFiles/vod_net.dir/transfer.cpp.o.d"
+  "libvod_net.a"
+  "libvod_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

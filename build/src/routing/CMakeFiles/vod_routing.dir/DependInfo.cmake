@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/bellman_ford.cpp" "src/routing/CMakeFiles/vod_routing.dir/bellman_ford.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/bellman_ford.cpp.o.d"
+  "/root/repo/src/routing/dijkstra.cpp" "src/routing/CMakeFiles/vod_routing.dir/dijkstra.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/graph.cpp" "src/routing/CMakeFiles/vod_routing.dir/graph.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/graph.cpp.o.d"
+  "/root/repo/src/routing/min_hop.cpp" "src/routing/CMakeFiles/vod_routing.dir/min_hop.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/min_hop.cpp.o.d"
+  "/root/repo/src/routing/path.cpp" "src/routing/CMakeFiles/vod_routing.dir/path.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/path.cpp.o.d"
+  "/root/repo/src/routing/trace_format.cpp" "src/routing/CMakeFiles/vod_routing.dir/trace_format.cpp.o" "gcc" "src/routing/CMakeFiles/vod_routing.dir/trace_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_routing.dir/bellman_ford.cpp.o"
+  "CMakeFiles/vod_routing.dir/bellman_ford.cpp.o.d"
+  "CMakeFiles/vod_routing.dir/dijkstra.cpp.o"
+  "CMakeFiles/vod_routing.dir/dijkstra.cpp.o.d"
+  "CMakeFiles/vod_routing.dir/graph.cpp.o"
+  "CMakeFiles/vod_routing.dir/graph.cpp.o.d"
+  "CMakeFiles/vod_routing.dir/min_hop.cpp.o"
+  "CMakeFiles/vod_routing.dir/min_hop.cpp.o.d"
+  "CMakeFiles/vod_routing.dir/path.cpp.o"
+  "CMakeFiles/vod_routing.dir/path.cpp.o.d"
+  "CMakeFiles/vod_routing.dir/trace_format.cpp.o"
+  "CMakeFiles/vod_routing.dir/trace_format.cpp.o.d"
+  "libvod_routing.a"
+  "libvod_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

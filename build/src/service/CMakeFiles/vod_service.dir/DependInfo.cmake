@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/admission.cpp" "src/service/CMakeFiles/vod_service.dir/admission.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/admission.cpp.o.d"
+  "/root/repo/src/service/audit.cpp" "src/service/CMakeFiles/vod_service.dir/audit.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/audit.cpp.o.d"
+  "/root/repo/src/service/distributed_striping.cpp" "src/service/CMakeFiles/vod_service.dir/distributed_striping.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/distributed_striping.cpp.o.d"
+  "/root/repo/src/service/ip_directory.cpp" "src/service/CMakeFiles/vod_service.dir/ip_directory.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/ip_directory.cpp.o.d"
+  "/root/repo/src/service/report.cpp" "src/service/CMakeFiles/vod_service.dir/report.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/report.cpp.o.d"
+  "/root/repo/src/service/spec.cpp" "src/service/CMakeFiles/vod_service.dir/spec.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/spec.cpp.o.d"
+  "/root/repo/src/service/vod_service.cpp" "src/service/CMakeFiles/vod_service.dir/vod_service.cpp.o" "gcc" "src/service/CMakeFiles/vod_service.dir/vod_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vod_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vod_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vod_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/snmp/CMakeFiles/vod_snmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/vod_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/vod_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/vra/CMakeFiles/vod_vra.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/vod_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/vod_routing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

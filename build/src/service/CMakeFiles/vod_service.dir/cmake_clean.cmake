@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_service.dir/admission.cpp.o"
+  "CMakeFiles/vod_service.dir/admission.cpp.o.d"
+  "CMakeFiles/vod_service.dir/audit.cpp.o"
+  "CMakeFiles/vod_service.dir/audit.cpp.o.d"
+  "CMakeFiles/vod_service.dir/distributed_striping.cpp.o"
+  "CMakeFiles/vod_service.dir/distributed_striping.cpp.o.d"
+  "CMakeFiles/vod_service.dir/ip_directory.cpp.o"
+  "CMakeFiles/vod_service.dir/ip_directory.cpp.o.d"
+  "CMakeFiles/vod_service.dir/report.cpp.o"
+  "CMakeFiles/vod_service.dir/report.cpp.o.d"
+  "CMakeFiles/vod_service.dir/spec.cpp.o"
+  "CMakeFiles/vod_service.dir/spec.cpp.o.d"
+  "CMakeFiles/vod_service.dir/vod_service.cpp.o"
+  "CMakeFiles/vod_service.dir/vod_service.cpp.o.d"
+  "libvod_service.a"
+  "libvod_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

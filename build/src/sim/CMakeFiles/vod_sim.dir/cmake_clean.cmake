@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vod_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vod_sim.dir/simulation.cpp.o"
+  "CMakeFiles/vod_sim.dir/simulation.cpp.o.d"
+  "libvod_sim.a"
+  "libvod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

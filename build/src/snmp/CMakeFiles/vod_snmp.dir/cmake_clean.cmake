@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_snmp.dir/snmp_module.cpp.o"
+  "CMakeFiles/vod_snmp.dir/snmp_module.cpp.o.d"
+  "libvod_snmp.a"
+  "libvod_snmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_snmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

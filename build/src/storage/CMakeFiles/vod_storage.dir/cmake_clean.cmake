@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_storage.dir/disk.cpp.o"
+  "CMakeFiles/vod_storage.dir/disk.cpp.o.d"
+  "CMakeFiles/vod_storage.dir/disk_array.cpp.o"
+  "CMakeFiles/vod_storage.dir/disk_array.cpp.o.d"
+  "CMakeFiles/vod_storage.dir/striping.cpp.o"
+  "CMakeFiles/vod_storage.dir/striping.cpp.o.d"
+  "libvod_storage.a"
+  "libvod_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_stream.dir/policy.cpp.o"
+  "CMakeFiles/vod_stream.dir/policy.cpp.o.d"
+  "CMakeFiles/vod_stream.dir/session.cpp.o"
+  "CMakeFiles/vod_stream.dir/session.cpp.o.d"
+  "libvod_stream.a"
+  "libvod_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_vra.dir/explain.cpp.o"
+  "CMakeFiles/vod_vra.dir/explain.cpp.o.d"
+  "CMakeFiles/vod_vra.dir/validation.cpp.o"
+  "CMakeFiles/vod_vra.dir/validation.cpp.o.d"
+  "CMakeFiles/vod_vra.dir/vra.cpp.o"
+  "CMakeFiles/vod_vra.dir/vra.cpp.o.d"
+  "libvod_vra.a"
+  "libvod_vra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_vra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog_gen.cpp" "src/workload/CMakeFiles/vod_workload.dir/catalog_gen.cpp.o" "gcc" "src/workload/CMakeFiles/vod_workload.dir/catalog_gen.cpp.o.d"
+  "/root/repo/src/workload/request_gen.cpp" "src/workload/CMakeFiles/vod_workload.dir/request_gen.cpp.o" "gcc" "src/workload/CMakeFiles/vod_workload.dir/request_gen.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/vod_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/vod_workload.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vod_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vod_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

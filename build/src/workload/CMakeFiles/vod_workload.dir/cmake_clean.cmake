@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vod_workload.dir/catalog_gen.cpp.o"
+  "CMakeFiles/vod_workload.dir/catalog_gen.cpp.o.d"
+  "CMakeFiles/vod_workload.dir/request_gen.cpp.o"
+  "CMakeFiles/vod_workload.dir/request_gen.cpp.o.d"
+  "CMakeFiles/vod_workload.dir/zipf.cpp.o"
+  "CMakeFiles/vod_workload.dir/zipf.cpp.o.d"
+  "libvod_workload.a"
+  "libvod_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vod_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

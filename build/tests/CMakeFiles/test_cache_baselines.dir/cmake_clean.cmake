@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache_baselines.dir/test_cache_baselines.cpp.o"
+  "CMakeFiles/test_cache_baselines.dir/test_cache_baselines.cpp.o.d"
+  "test_cache_baselines"
+  "test_cache_baselines.pdb"
+  "test_cache_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_failure.dir/test_disk_failure.cpp.o"
+  "CMakeFiles/test_disk_failure.dir/test_disk_failure.cpp.o.d"
+  "test_disk_failure"
+  "test_disk_failure.pdb"
+  "test_disk_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distributed_striping.dir/test_distributed_striping.cpp.o"
+  "CMakeFiles/test_distributed_striping.dir/test_distributed_striping.cpp.o.d"
+  "test_distributed_striping"
+  "test_distributed_striping.pdb"
+  "test_distributed_striping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distributed_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

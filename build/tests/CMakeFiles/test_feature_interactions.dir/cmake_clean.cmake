@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_interactions.dir/test_feature_interactions.cpp.o"
+  "CMakeFiles/test_feature_interactions.dir/test_feature_interactions.cpp.o.d"
+  "test_feature_interactions"
+  "test_feature_interactions.pdb"
+  "test_feature_interactions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grnet.dir/test_grnet.cpp.o"
+  "CMakeFiles/test_grnet.dir/test_grnet.cpp.o.d"
+  "test_grnet"
+  "test_grnet.pdb"
+  "test_grnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip_directory.dir/test_ip_directory.cpp.o"
+  "CMakeFiles/test_ip_directory.dir/test_ip_directory.cpp.o.d"
+  "test_ip_directory"
+  "test_ip_directory.pdb"
+  "test_ip_directory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_hop.dir/test_min_hop.cpp.o"
+  "CMakeFiles/test_min_hop.dir/test_min_hop.cpp.o.d"
+  "test_min_hop"
+  "test_min_hop.pdb"
+  "test_min_hop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_session_properties.dir/test_session_properties.cpp.o"
+  "CMakeFiles/test_session_properties.dir/test_session_properties.cpp.o.d"
+  "test_session_properties"
+  "test_session_properties.pdb"
+  "test_session_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_session_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_striping.dir/test_striping.cpp.o"
+  "CMakeFiles/test_striping.dir/test_striping.cpp.o.d"
+  "test_striping"
+  "test_striping.pdb"
+  "test_striping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vra.dir/test_vra.cpp.o"
+  "CMakeFiles/test_vra.dir/test_vra.cpp.o.d"
+  "test_vra"
+  "test_vra.pdb"
+  "test_vra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
