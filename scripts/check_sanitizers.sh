@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ASan + UBSan.
+#
+# Usage: scripts/check_sanitizers.sh [ctest-args...]
+# Exits non-zero on any build failure, test failure, or sanitizer report
+# (-fno-sanitize-recover=all turns every UBSan finding into an abort).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" "$@"

@@ -127,14 +127,24 @@ void LimitedAccessView::update_link_stats(LinkId link, Mbps used,
   }
   auto& record =
       find_or_throw(db_->links_, link, "update_link_stats: unknown link");
-  record.used_bandwidth = used;
-  record.utilization = utilization;
+  // SNMP re-reporting identical counters refreshes the staleness clock but
+  // is not a change: the epoch (and the link's dirty stamp) move only when
+  // a VRA-relevant value actually differs.
+  if (record.used_bandwidth.value() != used.value() ||
+      record.utilization != utilization) {
+    record.used_bandwidth = used;
+    record.utilization = utilization;
+    record.last_changed_epoch = db_->bump_link_epoch();
+  }
   record.last_snmp_update = when;
 }
 
 void LimitedAccessView::set_link_online(LinkId link, bool online) {
-  find_or_throw(db_->links_, link, "set_link_online: unknown link").online =
-      online;
+  auto& record =
+      find_or_throw(db_->links_, link, "set_link_online: unknown link");
+  if (record.online == online) return;
+  record.online = online;
+  record.last_changed_epoch = db_->bump_link_epoch();
 }
 
 const LinkRecord& LimitedAccessView::link(LinkId link) const {
@@ -162,24 +172,33 @@ std::vector<ServerRecord> LimitedAccessView::servers() const {
 void LimitedAccessView::set_server_config(NodeId node, ServerConfig config) {
   find_or_throw(db_->servers_, node, "set_server_config: unknown server")
       .config = config;
+  db_->bump_epoch();
 }
 
 void LimitedAccessView::set_server_online(NodeId node, bool online) {
-  find_or_throw(db_->servers_, node, "set_server_online: unknown server")
-      .online = online;
+  auto& record =
+      find_or_throw(db_->servers_, node, "set_server_online: unknown server");
+  if (record.online == online) return;
+  record.online = online;
+  db_->bump_epoch();
 }
 
 void LimitedAccessView::add_title(NodeId node, VideoId video) {
   if (!db_->videos_.contains(video)) {
     throw std::invalid_argument("add_title: unknown video");
   }
-  find_or_throw(db_->servers_, node, "add_title: unknown server")
-      .titles.insert(video);
+  if (find_or_throw(db_->servers_, node, "add_title: unknown server")
+          .titles.insert(video)
+          .second) {
+    db_->bump_epoch();
+  }
 }
 
 void LimitedAccessView::remove_title(NodeId node, VideoId video) {
-  find_or_throw(db_->servers_, node, "remove_title: unknown server")
-      .titles.erase(video);
+  if (find_or_throw(db_->servers_, node, "remove_title: unknown server")
+          .titles.erase(video) > 0) {
+    db_->bump_epoch();
+  }
 }
 
 double LimitedAccessView::stats_age(LinkId link, SimTime now) const {

@@ -10,6 +10,8 @@ namespace vod::service {
 ServiceReport build_report(const VodService& service, Mbps qos_floor) {
   ServiceReport report;
   report.qos_floor = qos_floor;
+  report.vra_cache = service.vra().cache_stats();
+  report.vra_cache_enabled = service.vra().cache_enabled();
   for (const SessionId id : service.session_ids()) {
     const stream::Session& session = service.session(id);
     const stream::SessionMetrics& m = session.metrics();
@@ -67,6 +69,20 @@ std::string format_report(const ServiceReport& report) {
                  std::to_string(report.qos_ok) + " (" +
                      TextTable::num(100.0 * report.qos_ok_share(), 0) +
                      "%)"});
+  table.add_row({"VRA cache",
+                 report.vra_cache_enabled ? "enabled" : "disabled"});
+  table.add_row({"VRA graph hits",
+                 std::to_string(report.vra_cache.graph_hits)});
+  table.add_row({"VRA graph incremental",
+                 std::to_string(report.vra_cache.graph_incremental)});
+  table.add_row({"VRA graph rebuilds",
+                 std::to_string(report.vra_cache.graph_rebuilds)});
+  table.add_row({"VRA edges rewritten",
+                 std::to_string(report.vra_cache.edges_rewritten)});
+  table.add_row({"VRA SPT hits",
+                 std::to_string(report.vra_cache.spt_hits)});
+  table.add_row({"VRA SPT misses",
+                 std::to_string(report.vra_cache.spt_misses)});
   return table.render();
 }
 

@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "service/vod_service.h"
+#include "vra/vra.h"
 
 namespace vod::service {
 
@@ -28,6 +29,10 @@ struct ServiceReport {
   double total_rebuffer_seconds = 0.0;
   int total_switches = 0;
   int total_stall_retries = 0;
+
+  /// Incremental LVN engine counters (graph/SPT cache effectiveness).
+  vra::VraCacheStats vra_cache;
+  bool vra_cache_enabled = false;
 
   [[nodiscard]] double qos_ok_share() const {
     return finished > 0

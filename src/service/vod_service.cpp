@@ -28,7 +28,8 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
       options_.snmp_interval_seconds);
   vra_ = std::make_unique<vra::Vra>(topology_, db_.full_view(),
                                     db_.limited_view(admin_),
-                                    options_.validation);
+                                    options_.validation,
+                                    options_.vra_cache_enabled);
   vra_policy_ = std::make_unique<stream::VraPolicy>(
       *vra_, options_.vra_switch_hysteresis);
   policy_ = vra_policy_.get();

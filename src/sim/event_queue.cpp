@@ -14,24 +14,20 @@ EventHandle EventQueue::schedule(SimTime when, Callback callback) {
   }
   const std::uint64_t sequence = next_sequence_++;
   heap_.push(Entry{when, sequence, std::move(callback)});
-  ++live_count_;
+  pending_.insert(sequence);
   return EventHandle{sequence};
 }
 
 bool EventQueue::cancel(EventHandle handle) {
-  if (!handle.valid() || handle.sequence_ >= next_sequence_) return false;
-  // Cancellation is lazy: remember the sequence and skip it when popped.
-  const bool inserted = cancelled_.insert(handle.sequence_).second;
-  if (!inserted) return false;
-  if (live_count_ == 0) {
-    cancelled_.erase(handle.sequence_);
-    return false;
-  }
-  --live_count_;
+  // Only events still waiting in the heap may be cancelled; a handle whose
+  // event already fired (or was cancelled before) is not pending and is
+  // rejected, leaving the counters untouched.
+  if (!handle.valid() || pending_.erase(handle.sequence_) == 0) return false;
+  cancelled_.insert(handle.sequence_);
   return true;
 }
 
-void EventQueue::drop_cancelled_head() {
+void EventQueue::drop_cancelled_head() const {
   while (!heap_.empty()) {
     auto it = cancelled_.find(heap_.top().sequence);
     if (it == cancelled_.end()) return;
@@ -41,12 +37,7 @@ void EventQueue::drop_cancelled_head() {
 }
 
 std::optional<SimTime> EventQueue::next_time() const {
-  // const_cast-free variant: scan past cancelled entries without popping.
-  // The heap top is the only candidate; cancelled tops are rare and cheap to
-  // handle in run_next, so here we conservatively report the top entry's
-  // time after skipping cancelled ones via a copy of the check.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_head();
+  drop_cancelled_head();
   if (heap_.empty()) return std::nullopt;
   return heap_.top().when;
 }
@@ -56,14 +47,14 @@ bool EventQueue::run_next() {
   if (heap_.empty()) return false;
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  --live_count_;
+  pending_.erase(entry.sequence);
   now_ = entry.when;
   entry.callback(now_);
   return true;
 }
 
-bool EventQueue::empty() const { return live_count_ == 0; }
+bool EventQueue::empty() const { return pending_.empty(); }
 
-std::size_t EventQueue::pending_count() const { return live_count_; }
+std::size_t EventQueue::pending_count() const { return pending_.size(); }
 
 }  // namespace vod::sim

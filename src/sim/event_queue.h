@@ -72,12 +72,19 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled_head();
+  void drop_cancelled_head() const;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  // Cancellation is lazy: a cancelled event stays in the heap until it
+  // reaches the top, where drop_cancelled_head() discards it.  Purging is
+  // logically const (it never changes which events are pending), so the
+  // heap and the cancelled set are mutable and next_time() stays honest.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  /// Sequences scheduled, not yet fired and not cancelled.  Membership here
+  /// is what distinguishes a cancellable event from one that already fired
+  /// (both have sequence < next_sequence_).
+  std::unordered_set<std::uint64_t> pending_;
   std::uint64_t next_sequence_ = 1;
-  std::size_t live_count_ = 0;
   SimTime now_{0.0};
 };
 

@@ -65,6 +65,37 @@ double LvnCalculator::node_validation(NodeId node) const {
   return nv;
 }
 
+std::vector<double> LvnCalculator::node_validations() const {
+  const std::size_t n = topology_.node_count();
+  std::vector<double> used_sum(n, 0.0);
+  std::vector<double> total_sum(n, 0.0);
+  for (const net::LinkInfo& info : topology_.links()) {
+    const LinkStats s = stats_.stats(info.id);
+    used_sum[info.a.value()] += s.used.value();
+    total_sum[info.a.value()] += s.total.value();
+    used_sum[info.b.value()] += s.used.value();
+    total_sum[info.b.value()] += s.total.value();
+  }
+  std::vector<double> nv(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (total_sum[i] > 0.0) nv[i] = used_sum[i] / total_sum[i];
+    if (options_.server_load_weight > 0.0) {
+      nv[i] += options_.server_load_weight *
+               options_.server_load(NodeId{
+                   static_cast<NodeId::underlying_type>(i)});
+    }
+  }
+  return nv;
+}
+
+double LvnCalculator::link_validation_number(
+    LinkId link, const std::vector<double>& node_validations) const {
+  const net::LinkInfo& info = topology_.link(link);
+  const double nv = std::max(node_validations[info.a.value()],
+                             node_validations[info.b.value()]);
+  return nv + link_utilization_term(link);
+}
+
 double LvnCalculator::link_value(LinkId link) const {
   return stats_.stats(link).total.value() / options_.normalization_constant;
 }
@@ -86,10 +117,11 @@ routing::Graph LvnCalculator::build_weighted_graph() const {
     const NodeId node{static_cast<NodeId::underlying_type>(n)};
     graph.add_node(topology_.node_name(node));
   }
+  const std::vector<double> nv = node_validations();
   for (const net::LinkInfo& info : topology_.links()) {
     if (!stats_.stats(info.id).online) continue;  // route around failures
     graph.add_undirected_edge(info.a, info.b, info.id,
-                              link_validation_number(info.id));
+                              link_validation_number(info.id, nv));
   }
   return graph;
 }

@@ -83,6 +83,16 @@ class LvnCalculator {
   /// Eq. 2 (+ optional server-load extension).
   [[nodiscard]] double node_validation(NodeId node) const;
 
+  /// Eq. 2 for every node at once.  A single pass over the links
+  /// accumulates each node's used/total sums, so the whole vector costs
+  /// O(V + E) where per-node queries would cost O(E · deg) across a build.
+  [[nodiscard]] std::vector<double> node_validations() const;
+
+  /// Eq. 1 with both endpoint validations already known (from
+  /// node_validations()); avoids the per-link O(deg) recomputation.
+  [[nodiscard]] double link_validation_number(
+      LinkId link, const std::vector<double>& node_validations) const;
+
   /// Eq. 4.
   [[nodiscard]] double link_value(LinkId link) const;
 

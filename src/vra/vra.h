@@ -10,8 +10,20 @@
 //
 // The VRA keeps running during playback: the streaming layer calls
 // select_server() again before each cluster, enabling mid-stream switching.
+//
+// Incremental engine: the LVNs are a pure function of the limited-access
+// link statistics, which only change when SNMP polls (or an administrator)
+// writes them — every 1–2 minutes — while select_server() runs per cluster
+// fetch.  The VRA therefore caches the weighted graph and the per-home
+// shortest-path trees, keyed on the database's links_changed_epoch(); when
+// the epoch advances it rewrites just the edges whose weights could have
+// moved (the dirty links' endpoints' neighborhoods) and falls back to a
+// full rebuild only when a link's online flag flipped (graph membership
+// change).  Selections are bit-for-bit identical to uncached operation.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -47,13 +59,33 @@ struct Decision {
   [[nodiscard]] double cost() const { return path.cost; }
 };
 
-/// The algorithm object.  Stateless between calls: every invocation reads
-/// fresh statistics, mirroring the paper's constantly-rerunning application.
+/// Effectiveness counters of the incremental engine (reported through
+/// service::ServiceReport so benches can assert cache behaviour).
+struct VraCacheStats {
+  /// Graph served unchanged (links epoch did not advance).
+  std::uint64_t graph_hits = 0;
+  /// Graph refreshed by rewriting only the dirty links' neighborhoods.
+  std::uint64_t graph_incremental = 0;
+  /// Full cold builds (first use, online flips, cache disabled).
+  std::uint64_t graph_rebuilds = 0;
+  /// Edge weights rewritten across all incremental refreshes.
+  std::uint64_t edges_rewritten = 0;
+  /// Dijkstra trees served from / inserted into the per-home cache.
+  std::uint64_t spt_hits = 0;
+  std::uint64_t spt_misses = 0;
+};
+
+/// The algorithm object.  Decisions depend only on the database views, so
+/// repeated calls between statistics updates are answered from the epoch-
+/// keyed cache; behaviour is indistinguishable from recomputing fresh.
 class Vra {
  public:
   /// `topology` must outlive the Vra; the views are value facades.
+  /// `enable_cache = false` recomputes everything per call (the seed
+  /// behaviour — kept for A/B benches and as a paranoia switch).
   Vra(const net::Topology& topology, db::FullAccessView catalog,
-      db::LimitedAccessView network_state, ValidationOptions options = {});
+      db::LimitedAccessView network_state, ValidationOptions options = {},
+      bool enable_cache = true);
 
   /// Runs Figure 5 for a client homed at `home` requesting `video`.
   /// Returns nullopt when no online server holds the title.
@@ -62,20 +94,63 @@ class Vra {
       NodeId home, VideoId video, bool want_trace = false) const;
 
   /// The weighted graph the VRA would route on right now (for inspection
-  /// and the table benches).
+  /// and the table benches).  Always built fresh; does not touch the cache.
   [[nodiscard]] routing::Graph current_weighted_graph() const;
 
   [[nodiscard]] const ValidationOptions& options() const { return options_; }
+
+  // --- incremental engine controls ---
+
+  [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
+  void set_cache_enabled(bool enabled);
+
+  /// Drops the cached graph and shortest-path trees (counters persist).
+  void invalidate_cache() const;
+
+  /// The graph the engine routes on, refreshed to the database's current
+  /// links epoch (counts a hit/incremental/rebuild like a request would).
+  /// The reference is valid until the next database change.
+  [[nodiscard]] const routing::Graph& routing_graph() const {
+    return weighted_graph();
+  }
+
+  [[nodiscard]] const VraCacheStats& cache_stats() const {
+    return cache_stats_;
+  }
+  void reset_cache_stats() const { cache_stats_ = {}; }
 
  private:
   /// "Poll all of those servers to find out which ones can provide the
   /// video": here, an online check against the limited-access view.
   [[nodiscard]] bool can_provide(NodeId server, VideoId video) const;
 
+  /// Returns the cached weighted graph, refreshed to the database's current
+  /// links epoch (full rebuild / dirty-links rewrite / as-is).
+  [[nodiscard]] const routing::Graph& weighted_graph() const;
+
+  void full_rebuild(std::uint64_t epoch) const;
+  /// Rewrites the weights reachable from the dirty links; falls back to
+  /// full_rebuild() when a dirty link's online flag flipped.
+  void refresh_dirty_links(std::uint64_t epoch) const;
+
+  /// The machine-load extension reads an arbitrary callback the database
+  /// epoch knows nothing about, so caching would be unsound with it on.
+  [[nodiscard]] bool cache_usable() const {
+    return cache_enabled_ && options_.server_load_weight == 0.0;
+  }
+
   const net::Topology& topology_;
   db::FullAccessView catalog_;
   db::LimitedAccessView network_state_;
   ValidationOptions options_;
+  bool cache_enabled_ = true;
+
+  // Cache state: logically a memo of pure functions of the database, hence
+  // mutable behind the const query interface.
+  mutable std::optional<routing::Graph> cached_graph_;
+  mutable std::uint64_t cached_links_epoch_ = 0;
+  mutable std::map<NodeId, routing::ShortestPaths> spt_cache_;
+  mutable VraCacheStats cache_stats_;
 };
 
 }  // namespace vod::vra

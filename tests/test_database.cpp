@@ -189,5 +189,60 @@ TEST(LimitedAccess, UnknownLookupsThrow) {
                std::out_of_range);
 }
 
+TEST(ChangeEpoch, LinkWritesBumpLinkEpochAndStampRecord) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "l0", Mbps{10.0});
+  db.register_link(LinkId{1}, "l1", Mbps{10.0});
+  auto view = db.limited_view(kAdmin);
+  EXPECT_EQ(view.change_epoch(), 0u);
+  EXPECT_EQ(view.links_changed_epoch(), 0u);
+
+  view.update_link_stats(LinkId{0}, Mbps{3.0}, 0.3, SimTime{1.0});
+  EXPECT_EQ(view.change_epoch(), 1u);
+  EXPECT_EQ(view.links_changed_epoch(), 1u);
+  EXPECT_EQ(view.link(LinkId{0}).last_changed_epoch, 1u);
+  EXPECT_EQ(view.link(LinkId{1}).last_changed_epoch, 0u);
+
+  view.set_link_online(LinkId{1}, false);
+  EXPECT_EQ(view.links_changed_epoch(), 2u);
+  EXPECT_EQ(view.link(LinkId{1}).last_changed_epoch, 2u);
+}
+
+TEST(ChangeEpoch, IdenticalSnmpSampleIsNotAChange) {
+  Database db = make_db();
+  db.register_link(LinkId{0}, "l0", Mbps{10.0});
+  auto view = db.limited_view(kAdmin);
+  view.update_link_stats(LinkId{0}, Mbps{3.0}, 0.3, SimTime{1.0});
+  const std::uint64_t epoch = view.change_epoch();
+  // Same counters, later timestamp: the staleness clock moves, the epoch
+  // does not.
+  view.update_link_stats(LinkId{0}, Mbps{3.0}, 0.3, SimTime{2.0});
+  EXPECT_EQ(view.change_epoch(), epoch);
+  EXPECT_DOUBLE_EQ(view.stats_age(LinkId{0}, SimTime{3.0}), 1.0);
+  view.set_link_online(LinkId{0}, true);  // already online
+  EXPECT_EQ(view.change_epoch(), epoch);
+}
+
+TEST(ChangeEpoch, CatalogWritesBumpGlobalButNotLinkEpoch) {
+  Database db = make_db();
+  db.register_server(NodeId{0}, "a", {});
+  const VideoId movie = db.register_video("m", MegaBytes{10.0}, Mbps{2.0});
+  auto view = db.limited_view(kAdmin);
+  view.add_title(NodeId{0}, movie);
+  EXPECT_EQ(view.change_epoch(), 1u);
+  EXPECT_EQ(view.links_changed_epoch(), 0u);
+  view.add_title(NodeId{0}, movie);  // already held: no-op
+  EXPECT_EQ(view.change_epoch(), 1u);
+  view.remove_title(NodeId{0}, movie);
+  EXPECT_EQ(view.change_epoch(), 2u);
+  view.remove_title(NodeId{0}, movie);  // already gone: no-op
+  EXPECT_EQ(view.change_epoch(), 2u);
+  view.set_server_online(NodeId{0}, false);
+  EXPECT_EQ(view.change_epoch(), 3u);
+  view.set_server_online(NodeId{0}, false);  // unchanged: no-op
+  EXPECT_EQ(view.change_epoch(), 3u);
+  EXPECT_EQ(view.links_changed_epoch(), 0u);
+}
+
 }  // namespace
 }  // namespace vod::db

@@ -92,6 +92,56 @@ TEST(EventQueue, CancelAfterFiringFails) {
   EXPECT_FALSE(queue.cancel(handle));
 }
 
+// Regression: the seed accepted cancels of already-fired handles whenever
+// any other event was live, decrementing the live count and leaking the
+// sequence into the cancelled set forever.
+TEST(EventQueue, CancelOfFiredHandleWithOthersPendingIsRejected) {
+  EventQueue queue;
+  bool survivor_fired = false;
+  const EventHandle first = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  queue.schedule(SimTime{2.0}, [&](SimTime) { survivor_fired = true; });
+  queue.run_next();  // fires `first`
+  EXPECT_FALSE(queue.cancel(first));
+  EXPECT_EQ(queue.pending_count(), 1u);
+  EXPECT_FALSE(queue.empty());
+  EXPECT_TRUE(queue.run_next());
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RepeatedStaleCancelsNeverCorruptCounts) {
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(queue.schedule(SimTime{1.0 + i}, [](SimTime) {}));
+  }
+  queue.run_next();
+  queue.run_next();
+  // Both fired handles must be rejected, twice, without touching the count.
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_FALSE(queue.cancel(handles[0]));
+    EXPECT_FALSE(queue.cancel(handles[1]));
+  }
+  EXPECT_EQ(queue.pending_count(), 2u);
+  EXPECT_TRUE(queue.cancel(handles[2]));
+  EXPECT_EQ(queue.pending_count(), 1u);
+  while (queue.run_next()) {
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pending_count(), 0u);
+}
+
+TEST(EventQueue, NextTimeOnConstQueueSkipsCancelled) {
+  EventQueue queue;
+  const EventHandle a = queue.schedule(SimTime{1.0}, [](SimTime) {});
+  queue.schedule(SimTime{2.0}, [](SimTime) {});
+  queue.cancel(a);
+  const EventQueue& view = queue;
+  ASSERT_TRUE(view.next_time().has_value());
+  EXPECT_EQ(*view.next_time(), SimTime{2.0});
+  EXPECT_EQ(view.pending_count(), 1u);
+}
+
 TEST(EventQueue, CancelInvalidHandleFails) {
   EventQueue queue;
   EXPECT_FALSE(queue.cancel(EventHandle{}));
