@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Resilience gate: build with ASan + UBSan, run the failure-focused test
+# suites (fault injection, failover, watchdog, SNMP outage, degraded mode,
+# service retries, the zero-hang storm), then the fault-resilience bench in
+# smoke mode.
+#
+# Usage: scripts/check_resilience.sh
+# Exits non-zero on any build failure, test failure, sanitizer report, or
+# bench gate violation (hung sessions / missing failure reasons).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R 'Fault|Failover|StallWatchdog|LinkFailure|Snmp|Degraded|ServiceRetry|ZeroHang'
+
+build-asan/bench/bench_fault_resilience --smoke

@@ -53,6 +53,9 @@ class FluidNetwork {
   void set_link_up(LinkId link, bool up);
   [[nodiscard]] bool link_up(LinkId link) const;
 
+  /// All currently-down links, ascending by id (fault tooling/report).
+  [[nodiscard]] std::vector<LinkId> down_links() const;
+
   /// Starts a flow across `path` (links in order; may be empty for a purely
   /// local transfer, which then runs at `rate_cap`).  Every link must exist.
   /// `rate_cap` must be positive.

@@ -86,6 +86,72 @@ std::string format_report(const ServiceReport& report) {
   return table.render();
 }
 
+ResilienceReport build_resilience_report(const VodService& service,
+                                         Mbps qos_floor) {
+  ResilienceReport report;
+  report.qos_floor = qos_floor;
+  report.service_retries = service.service_retry_count();
+  report.degraded_selections = service.vra().degraded_selection_count();
+  for (const SessionId id : service.session_ids()) {
+    const stream::Session& session = service.session(id);
+    const stream::SessionMetrics& m = session.metrics();
+    ++report.sessions;
+    report.proactive_failovers += m.proactive_failovers;
+    report.stall_retries += m.stall_retries;
+    for (const double latency : m.failover_latencies) {
+      report.failover_latency_seconds.add(latency);
+    }
+    if (service.session_superseded(id)) continue;  // outcome lives on
+    ++report.requests;
+    const bool hit_by_fault =
+        !m.failover_latencies.empty() || m.proactive_failovers > 0;
+    if (hit_by_fault) ++report.sessions_with_failover;
+    if (m.finished) {
+      ++report.finished;
+      if (hit_by_fault) ++report.survived_failover;
+      const Mbps floor = qos_floor.value() > 0.0 ? qos_floor
+                                                 : session.video().bitrate;
+      if (m.meets_qos_floor(floor)) ++report.qos_ok;
+    } else if (m.failed) {
+      ++report.failed;
+    } else {
+      ++report.hung;
+    }
+  }
+  return report;
+}
+
+std::string format_resilience_report(const ResilienceReport& report) {
+  TextTable table{{"metric", "value"}};
+  table.add_row({"sessions (incl. retries)", std::to_string(report.sessions)});
+  table.add_row({"requests", std::to_string(report.requests)});
+  table.add_row({"finished", std::to_string(report.finished)});
+  table.add_row({"failed", std::to_string(report.failed)});
+  table.add_row({"hung", std::to_string(report.hung)});
+  table.add_row({"availability",
+                 TextTable::num(100.0 * report.availability(), 1) + "%"});
+  table.add_row({"QoS-ok", std::to_string(report.qos_ok)});
+  table.add_row({"requests hit by faults",
+                 std::to_string(report.sessions_with_failover)});
+  table.add_row({"...of which finished",
+                 std::to_string(report.survived_failover)});
+  if (report.failover_latency_seconds.count() > 0) {
+    table.add_row(
+        {"failover latency p50 (s)",
+         TextTable::num(report.failover_latency_seconds.median(), 2)});
+    table.add_row(
+        {"failover latency p95 (s)",
+         TextTable::num(report.failover_latency_seconds.quantile(0.95), 2)});
+  }
+  table.add_row({"proactive failovers",
+                 std::to_string(report.proactive_failovers)});
+  table.add_row({"stall retries", std::to_string(report.stall_retries)});
+  table.add_row({"service retries", std::to_string(report.service_retries)});
+  table.add_row({"degraded selections",
+                 std::to_string(report.degraded_selections)});
+  return table.render();
+}
+
 std::string report_sessions_csv(const VodService& service) {
   CsvWriter csv{{"session", "home", "title", "outcome", "startup_s",
                  "download_s", "rebuffer_s", "switches", "stall_retries",

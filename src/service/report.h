@@ -45,6 +45,47 @@ struct ServiceReport {
 /// (use each title's own bitrate via per-session checks when 0).
 ServiceReport build_report(const VodService& service, Mbps qos_floor);
 
+/// The failure-handling view of a service's session history: how many
+/// user requests survived the faults, how fast failovers were, and which
+/// recovery mechanisms did the work.  Sessions superseded by a service-
+/// level retry contribute their failover latencies but not an outcome —
+/// the request's outcome is its final attempt's.
+struct ResilienceReport {
+  std::size_t sessions = 0;   // session objects, retry attempts included
+  std::size_t requests = 0;   // user-visible requests (minus superseded)
+  std::size_t finished = 0;
+  std::size_t failed = 0;     // failed with an explicit failure_reason
+  std::size_t hung = 0;       // neither finished nor failed — must be 0
+  std::size_t qos_ok = 0;
+  Mbps qos_floor{0.0};
+
+  /// Requests that recorded at least one failover, and how many of those
+  /// still finished.
+  std::size_t sessions_with_failover = 0;
+  std::size_t survived_failover = 0;
+
+  int proactive_failovers = 0;
+  int stall_retries = 0;
+  std::size_t service_retries = 0;
+  std::uint64_t degraded_selections = 0;
+
+  /// Fault notification -> streaming again, across all sessions.
+  SampleSet failover_latency_seconds;
+
+  /// Finished requests over all requests — the headline availability.
+  [[nodiscard]] double availability() const {
+    return requests > 0
+               ? static_cast<double>(finished) / static_cast<double>(requests)
+               : 0.0;
+  }
+};
+
+ResilienceReport build_resilience_report(const VodService& service,
+                                         Mbps qos_floor);
+
+/// Human-readable summary table.
+std::string format_resilience_report(const ResilienceReport& report);
+
 /// Human-readable summary table.
 std::string format_report(const ServiceReport& report);
 

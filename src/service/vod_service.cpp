@@ -30,6 +30,8 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
                                     db_.limited_view(admin_),
                                     options_.validation,
                                     options_.vra_cache_enabled);
+  vra_->configure_degraded_mode(options_.degraded_stats_age_seconds,
+                                [this] { return sim_.now(); });
   vra_policy_ = std::make_unique<stream::VraPolicy>(
       *vra_, options_.vra_switch_hysteresis);
   policy_ = vra_policy_.get();
@@ -198,20 +200,66 @@ SessionId VodService::request_at(NodeId home, VideoId video,
     }
   }
 
-  const SessionId id{next_session_++};
-  auto session = std::make_unique<stream::Session>(
-      sim_, transfers_, *policy_, *info, home, options_.cluster_size,
-      options_.session, std::move(on_done));
-  stream::Session& ref = *session;
-  sessions_.emplace(id, std::move(session));
-  if (options_.coalesce_window_seconds > 0.0) {
-    batches_[std::make_pair(home, video)] = std::make_pair(id, sim_.now());
-  }
-  ref.start();
+  const SessionId id = spawn_session(home, *info, std::move(on_done),
+                                     options_.failover.retry_limit,
+                                     options_.failover.retry_backoff_seconds,
+                                     /*register_batch=*/true);
   VOD_LOG_INFO("service: session " << id.value() << " for video "
                                    << info->title << " at "
                                    << topology_.node_name(home));
   return id;
+}
+
+SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
+                                    stream::Session::DoneCallback on_done,
+                                    int retries_left, double backoff_seconds,
+                                    bool register_batch) {
+  const SessionId id{next_session_++};
+  auto session = std::make_unique<stream::Session>(
+      sim_, transfers_, *policy_, info, home, options_.cluster_size,
+      options_.session,
+      wrap_with_retry(id, home, info, std::move(on_done), retries_left,
+                      backoff_seconds));
+  stream::Session& ref = *session;
+  sessions_.emplace(id, std::move(session));
+  if (register_batch && options_.coalesce_window_seconds > 0.0) {
+    batches_[std::make_pair(home, info.id)] = std::make_pair(id, sim_.now());
+  }
+  ref.start();
+  return id;
+}
+
+stream::Session::DoneCallback VodService::wrap_with_retry(
+    SessionId id, NodeId home, const db::VideoInfo& info,
+    stream::Session::DoneCallback on_done, int retries_left,
+    double backoff_seconds) {
+  if (retries_left <= 0) return on_done;
+  return [this, id, home, info, on_done = std::move(on_done), retries_left,
+          backoff_seconds](const stream::Session& session) {
+    if (!session.metrics().failed) {
+      if (on_done) on_done(session);
+      return;
+    }
+    // The request outlives this session: re-submit after the backoff and
+    // hand the user callback to the retry.
+    superseded_.insert(id);
+    ++service_retries_;
+    const double next_backoff =
+        std::min(backoff_seconds * options_.failover.retry_backoff_factor,
+                 options_.failover.retry_backoff_max_seconds);
+    VOD_LOG_INFO("service: session " << id.value() << " failed ("
+                                     << session.metrics().failure_reason
+                                     << "); retrying in " << backoff_seconds
+                                     << " s");
+    sim_.schedule_in(
+        backoff_seconds,
+        [this, id, home, info, on_done, retries_left,
+         next_backoff](SimTime) {
+          retried_as_.emplace(
+              id, spawn_session(home, info, on_done, retries_left - 1,
+                                next_backoff, /*register_batch=*/false));
+        });
+  };
 }
 
 VodService::AdmissionOutcome VodService::request_with_admission(
@@ -247,6 +295,89 @@ VodService::AdmissionOutcome VodService::request_with_admission(
 
 db::LimitedAccessView VodService::admin_view() {
   return db_.limited_view(admin_);
+}
+
+template <typename Predicate>
+void VodService::notify_sessions(const Predicate& predicate,
+                                 const char* cause,
+                                 bool black_hole_when_passive) {
+  // Collect first: fail_over() can complete or fail a session, whose done
+  // callback may submit new requests and grow sessions_ while we iterate.
+  std::vector<stream::Session*> affected;
+  for (auto& [id, session] : sessions_) {
+    if (!session->active()) continue;
+    if (predicate(*session)) affected.push_back(session.get());
+  }
+  for (stream::Session* session : affected) {
+    session->mark_source_fault(sim_.now());
+    if (options_.failover.proactive) {
+      session->fail_over(cause);
+    } else if (black_hole_when_passive) {
+      session->black_hole_inflight();
+    }
+  }
+}
+
+void VodService::fail_link(LinkId link) {
+  if (!network_.link_up(link)) return;
+  network_.set_link_up(link, false);
+  if (options_.failover.proactive) {
+    // The connection reset travels faster than the next SNMP poll: tell
+    // the database (and through it the VRA) right away.
+    admin_view().set_link_online(link, false);
+  }
+  notify_sessions(
+      [link](const stream::Session& session) {
+        const auto& links = session.inflight_links();
+        return std::find(links.begin(), links.end(), link) != links.end();
+      },
+      "link down",
+      // A cut link already starves the flow (rate 0); the watchdog-only
+      // baseline needs no extra black-holing.
+      /*black_hole_when_passive=*/false);
+}
+
+void VodService::restore_link(LinkId link) {
+  if (network_.link_up(link)) return;
+  network_.set_link_up(link, true);
+  if (options_.failover.proactive) {
+    admin_view().set_link_online(link, true);
+  }
+}
+
+void VodService::crash_server(NodeId server) {
+  if (!servers_.contains(server)) {
+    throw std::out_of_range("VodService::crash_server: unknown server");
+  }
+  if (!crashed_servers_.insert(server).second) return;
+  // Both modes: the VRA polls candidate servers per request, and a crashed
+  // box answers no poll — only the *reaction of running sessions* differs.
+  set_server_online(server, false);
+  notify_sessions(
+      [server](const stream::Session& session) {
+        const auto source = session.streaming_source();
+        return source && *source == server;
+      },
+      "source server crashed",
+      // Links stay up when a server dies, so without black-holing the
+      // in-flight transfer would absurdly keep delivering.
+      /*black_hole_when_passive=*/true);
+}
+
+void VodService::restore_server(NodeId server) {
+  if (!servers_.contains(server)) {
+    throw std::out_of_range("VodService::restore_server: unknown server");
+  }
+  if (crashed_servers_.erase(server) == 0) return;
+  // The restarted server still holds its disk contents; it re-registers as
+  // online and the VRA may select it again immediately.
+  set_server_online(server, true);
+}
+
+std::optional<SessionId> VodService::retried_as(SessionId id) const {
+  const auto it = retried_as_.find(id);
+  if (it == retried_as_.end()) return std::nullopt;
+  return it->second;
 }
 
 void VodService::set_server_online(NodeId server, bool online) {

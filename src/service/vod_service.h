@@ -12,9 +12,11 @@
 // happens.
 #pragma once
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,23 @@ struct ServerSetup {
   storage::StripingMode striping = storage::StripingMode::kPlain;
 };
 
+/// Failure-handling behaviour of the service (see src/fault for the
+/// injector that exercises it).
+struct FailoverOptions {
+  /// Push fault notifications into affected sessions immediately (the
+  /// connection-reset signal): a session streaming from a crashed server
+  /// or across a cut link re-consults the selection policy at once instead
+  /// of waiting out its stall watchdog.  False = watchdog-only baseline.
+  bool proactive = true;
+  /// Service-level retries of a failed session (0 = off): the failed
+  /// request is re-submitted as a fresh session after an exponential
+  /// backoff, up to this many times.
+  int retry_limit = 0;
+  double retry_backoff_seconds = 30.0;
+  double retry_backoff_factor = 2.0;
+  double retry_backoff_max_seconds = 480.0;
+};
+
 /// Global service configuration.
 struct ServiceOptions {
   /// The striping/switching unit c (MB) — common to all disks, per paper.
@@ -70,6 +89,13 @@ struct ServiceOptions {
   vra::ValidationOptions validation{};
   dma::DmaOptions dma{};
   stream::SessionOptions session{};
+  FailoverOptions failover{};
+  /// VRA degraded mode: when every link's statistics are staler than this
+  /// (SNMP monitor dark), server selection falls back to min-hop routing
+  /// over links still believed up instead of trusting stale LVNs.
+  /// Infinity disables the mode.
+  double degraded_stats_age_seconds =
+      std::numeric_limits<double>::infinity();
   /// Hardware defaults for every video server...
   ServerSetup server{};
   /// ...with optional per-node overrides (heterogeneous deployments).
@@ -160,6 +186,39 @@ class VodService {
   [[nodiscard]] const DecisionAudit& audit() const;
   [[nodiscard]] snmp::SnmpModule& snmp() { return *snmp_; }
 
+  // ---- fault notifications (the failover machinery's entry points) ----
+
+  /// Link failure: the fluid network drops the link; with proactive
+  /// failover the database learns immediately (connection reset beats the
+  /// next SNMP poll) and every session streaming across the link re-selects
+  /// its source at once.  Idempotent.
+  void fail_link(LinkId link);
+  void restore_link(LinkId link);
+
+  /// Server crash: the server goes offline in the database (the VRA's
+  /// per-request poll of candidate servers sees the crash either way);
+  /// sessions streaming from it either fail over immediately (proactive)
+  /// or are black-holed until their stall watchdog fires (baseline).
+  /// A restart brings the server back with its disk contents intact.
+  /// Idempotent.
+  void crash_server(NodeId server);
+  void restore_server(NodeId server);
+  [[nodiscard]] bool server_crashed(NodeId server) const {
+    return crashed_servers_.contains(server);
+  }
+
+  /// Service-level retries performed so far (FailoverOptions::retry_limit).
+  [[nodiscard]] std::size_t service_retry_count() const {
+    return service_retries_;
+  }
+  /// True when `id` failed and was re-submitted as a new session — its
+  /// outcome was superseded by the retry's.
+  [[nodiscard]] bool session_superseded(SessionId id) const {
+    return superseded_.contains(id);
+  }
+  /// The retry session spawned for a superseded `id`, if any yet.
+  [[nodiscard]] std::optional<SessionId> retried_as(SessionId id) const;
+
   // ---- accessors ----
 
   [[nodiscard]] const vra::Vra& vra() const { return *vra_; }
@@ -179,6 +238,25 @@ class VodService {
   };
 
   void register_topology();
+
+  /// Creates, registers and starts a session; wraps `on_done` with the
+  /// service-retry machinery when `retries_left > 0`.  `register_batch`
+  /// is false for retry sessions (they joined no coalescing batch and
+  /// already paid their DMA accounting).
+  SessionId spawn_session(NodeId home, const db::VideoInfo& info,
+                          stream::Session::DoneCallback on_done,
+                          int retries_left, double backoff_seconds,
+                          bool register_batch);
+  stream::Session::DoneCallback wrap_with_retry(
+      SessionId id, NodeId home, const db::VideoInfo& info,
+      stream::Session::DoneCallback on_done, int retries_left,
+      double backoff_seconds);
+
+  /// Stamps and (if proactive) fails over every active session whose
+  /// in-flight transfer `predicate` says is hit by the fault.
+  template <typename Predicate>
+  void notify_sessions(const Predicate& predicate, const char* cause,
+                       bool black_hole_when_passive);
 
   sim::Simulation& sim_;
   const net::Topology& topology_;
@@ -204,6 +282,10 @@ class VodService {
   std::size_t admitted_ = 0;
   std::size_t rejected_ = 0;
   std::size_t coalesced_ = 0;
+  std::set<NodeId> crashed_servers_;
+  std::size_t service_retries_ = 0;
+  std::set<SessionId> superseded_;
+  std::map<SessionId, SessionId> retried_as_;
 };
 
 }  // namespace vod::service

@@ -41,6 +41,7 @@ void SnmpModule::sample(SimTime now) {
     view_.set_link_online(info.id, network_.link_up(info.id));
   }
   ++poll_count_;
+  last_poll_at_ = now;
 }
 
 }  // namespace vod::snmp

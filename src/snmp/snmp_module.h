@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 
 #include "common/sim_time.h"
 #include "db/database.h"
@@ -52,6 +53,12 @@ class SnmpModule {
   [[nodiscard]] std::size_t poll_count() const { return poll_count_; }
   [[nodiscard]] double interval_seconds() const { return interval_; }
 
+  /// When the last sample was taken (nullopt before the first); lets the
+  /// fault tooling assert a monitor outage and the resumption after it.
+  [[nodiscard]] std::optional<SimTime> last_poll_at() const {
+    return last_poll_at_;
+  }
+
  private:
   void sample(SimTime now);
 
@@ -61,6 +68,7 @@ class SnmpModule {
   double interval_;
   bool count_vod_flows_ = true;
   std::size_t poll_count_ = 0;
+  std::optional<SimTime> last_poll_at_;
   std::unique_ptr<sim::PeriodicTask> task_;
 };
 

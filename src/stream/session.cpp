@@ -1,6 +1,7 @@
 #include "stream/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/log.h"
@@ -27,6 +28,19 @@ Session::Session(sim::Simulation& sim, net::TransferManager& transfers,
   }
   if (options_.prebuffer_clusters == 0) {
     throw std::invalid_argument("Session: prebuffer must be >= 1 cluster");
+  }
+  if (options_.stall_timeout_seconds == kAutoStallTimeout) {
+    if (options_.flow_cap.value() <= 0.0) {
+      throw std::invalid_argument("Session: flow cap must be positive");
+    }
+    stall_timeout_ =
+        3.0 * cluster_size.megabits() / options_.flow_cap.value();
+  } else if (options_.stall_timeout_seconds > 0.0) {
+    stall_timeout_ = options_.stall_timeout_seconds;  // infinity disables
+  } else {
+    throw std::invalid_argument(
+        "Session: stall timeout must be positive, infinity, or "
+        "kAutoStallTimeout");
   }
   // The striping plan defines the cluster boundaries; the disk count is
   // irrelevant for sizes, so any positive count works here.
@@ -115,16 +129,21 @@ void Session::fetch_next_cluster(SimTime now) {
   }
   metrics_.cluster_sources.push_back(selection->server);
 
+  if (pending_fault_at_) {
+    metrics_.failover_latencies.push_back(now - *pending_fault_at_);
+    pending_fault_at_.reset();
+  }
+
   const bool local = selection->path.links.empty();
   const Mbps cap = local ? options_.local_rate : options_.flow_cap;
+  inflight_path_ = selection->path.links;
   inflight_ = transfers_.start_transfer(
       selection->path.links, part_sizes_[index], cap,
       [this, index](SimTime t) { on_cluster_done(index, t); });
 
-  if (options_.stall_timeout_seconds !=
-      std::numeric_limits<double>::infinity()) {
+  if (std::isfinite(stall_timeout_)) {
     watchdog_ = sim_.schedule_in(
-        options_.stall_timeout_seconds,
+        stall_timeout_,
         [this, index](SimTime t) { on_stall_timeout(index, t); });
   }
 }
@@ -139,14 +158,30 @@ void Session::cancel_watchdog() {
 void Session::on_stall_timeout(std::size_t index, SimTime now) {
   watchdog_ = sim::EventHandle{};
   if (done_ || index != next_cluster_ || !inflight_) return;
+  // A transfer still delivering is congested, not dead: let it run and
+  // check again one timeout from now.
+  if (transfers_.active(*inflight_) &&
+      transfers_.current_rate(*inflight_) >= options_.stall_rate_floor) {
+    watchdog_ = sim_.schedule_in(
+        stall_timeout_,
+        [this, index](SimTime t) { on_stall_timeout(index, t); });
+    return;
+  }
   // The cluster is overdue: abandon the transfer and re-select a source.
-  transfers_.cancel(*inflight_);
+  // (The flow may already be gone if the source was black-holed.)
+  if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
   inflight_.reset();
+  inflight_path_.clear();
   ++metrics_.stall_retries;
+  ++retries_this_cluster_;
   // Forget the abandoned source so a return to it counts as a new choice.
   metrics_.cluster_sources.pop_back();
-  if (metrics_.stall_retries > options_.max_retries) {
+  if (retries_this_cluster_ > options_.max_retries) {
     fail(now, "cluster stalled beyond retry budget");
+    return;
+  }
+  if (metrics_.stall_retries > options_.max_total_retries) {
+    fail(now, "session stalled beyond total retry budget");
     return;
   }
   VOD_LOG_INFO("session: cluster " << index << " stalled; retrying");
@@ -159,6 +194,8 @@ void Session::on_cluster_done(std::size_t index, SimTime now) {
   }
   cancel_watchdog();
   inflight_.reset();
+  inflight_path_.clear();
+  retries_this_cluster_ = 0;
   metrics_.cluster_completed.push_back(now);
   ++next_cluster_;
   if (next_cluster_ == part_sizes_.size()) {
@@ -166,6 +203,35 @@ void Session::on_cluster_done(std::size_t index, SimTime now) {
   } else {
     fetch_next_cluster(now);
   }
+}
+
+void Session::mark_source_fault(SimTime now) {
+  if (!active() || !inflight_) return;
+  if (!pending_fault_at_) pending_fault_at_ = now;
+}
+
+void Session::fail_over(const std::string& cause) {
+  if (!active() || !inflight_) return;
+  cancel_watchdog();
+  if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
+  inflight_.reset();
+  inflight_path_.clear();
+  metrics_.cluster_sources.pop_back();
+  ++metrics_.proactive_failovers;
+  VOD_LOG_INFO("session: failing over (" << cause << ")");
+  fetch_next_cluster(sim_.now());
+}
+
+void Session::black_hole_inflight() {
+  if (!active() || !inflight_) return;
+  // Keep inflight_ set: from the session's view the download is still
+  // "running", it just never delivers another byte.
+  if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
+}
+
+std::optional<NodeId> Session::streaming_source() const {
+  if (!active() || !inflight_) return std::nullopt;
+  return metrics_.cluster_sources.back();
 }
 
 void Session::finalize_playback() {
@@ -227,6 +293,7 @@ void Session::fail(SimTime now, const std::string& reason) {
     transfers_.cancel(*inflight_);
   }
   inflight_.reset();
+  inflight_path_.clear();
   finalize_playback();
   if (on_done_) on_done_(*this);
 }

@@ -25,6 +25,12 @@
 
 namespace vod::stream {
 
+/// Sentinel for SessionOptions::stall_timeout_seconds: derive the timeout
+/// from the cluster size and the flow cap (3x the expected transfer time of
+/// one cluster at full cap), so out-of-the-box sessions cannot hang forever
+/// on a dead source.
+inline constexpr double kAutoStallTimeout = -1.0;
+
 /// Session tuning.
 struct SessionOptions {
   /// Clusters that must be fully downloaded before playback starts.
@@ -35,10 +41,21 @@ struct SessionOptions {
   Mbps local_rate{80.0};
   /// If a cluster download exceeds this, abort it and ask the policy for a
   /// (possibly different) source — the recovery path for link/server
-  /// failures mid-stream.  Infinity disables the watchdog.
-  double stall_timeout_seconds = std::numeric_limits<double>::infinity();
-  /// Stall retries tolerated before the session fails.
+  /// failures mid-stream.  kAutoStallTimeout derives a finite default from
+  /// cluster size and flow cap; infinity disables the watchdog (the
+  /// paper-exact configuration).
+  double stall_timeout_seconds = kAutoStallTimeout;
+  /// A transfer still delivering at least this rate when the watchdog fires
+  /// is slow-but-alive (congestion, not failure): the watchdog re-arms
+  /// instead of aborting it.  A flow across a dead link reads exactly 0.
+  Mbps stall_rate_floor{0.01};
+  /// Stall retries tolerated per cluster before the session fails — a long
+  /// title with several independent transient stalls must not exhaust one
+  /// shared budget when every cluster recovered.
   int max_retries = 5;
+  /// Stall retries tolerated across the whole session (genuinely dead
+  /// titles must still fail instead of retrying per cluster forever).
+  int max_total_retries = 25;
 };
 
 /// Everything measured about one session.
@@ -58,6 +75,12 @@ struct SessionMetrics {
   int server_switches = 0;
   /// Cluster fetches abandoned by the stall watchdog and retried.
   int stall_retries = 0;
+  /// Source re-selections forced by a fault notification (fail_over),
+  /// without waiting for the watchdog.
+  int proactive_failovers = 0;
+  /// Seconds from each fault notification on the streaming path to the
+  /// session streaming again from a (possibly different) source.
+  std::vector<double> failover_latencies;
   /// Completed VCR pause intervals (pause time, resume time).
   std::vector<std::pair<SimTime, SimTime>> pauses;
 
@@ -127,6 +150,39 @@ class Session {
   /// Aborts the session (cancels any in-flight transfer).
   void abort(const std::string& reason);
 
+  // ---- fault notifications (service failover machinery) ----
+
+  /// Stamps "a fault hit the streaming path now"; the next successful
+  /// cluster fetch records the elapsed time as failover latency.  No-op
+  /// when the session is not mid-transfer.
+  void mark_source_fault(SimTime now);
+
+  /// Abandons the in-flight transfer and re-consults the policy
+  /// immediately (the proactive recovery path).  Does not touch the stall
+  /// retry budgets; fails the session only when no source is left.
+  /// No-op when the session is not mid-transfer.
+  void fail_over(const std::string& cause);
+
+  /// Models the source server dying while its path links stay up: cancels
+  /// the in-flight transfer without re-selecting, so the bytes simply stop
+  /// arriving and only the stall watchdog (if armed) can rescue the
+  /// session.  Used by the watchdog-only baseline.
+  void black_hole_inflight();
+
+  /// The server currently being streamed from (nullopt when idle or done).
+  [[nodiscard]] std::optional<NodeId> streaming_source() const;
+
+  /// Links of the in-flight transfer's path (empty when idle or local).
+  [[nodiscard]] const std::vector<LinkId>& inflight_links() const {
+    return inflight_path_;
+  }
+
+  /// The resolved watchdog timeout (finite when kAutoStallTimeout was
+  /// passed; infinity when disabled).
+  [[nodiscard]] double stall_timeout_seconds() const {
+    return stall_timeout_;
+  }
+
   /// Chains another completion callback (after any existing ones) — used
   /// when a coalesced request joins this session.  Throws std::logic_error
   /// if the session already ended.
@@ -167,8 +223,14 @@ class Session {
   std::vector<MegaBytes> part_sizes_;
   std::size_t next_cluster_ = 0;
   std::optional<FlowId> inflight_;
+  std::vector<LinkId> inflight_path_;
   std::optional<SimTime> pause_started_;
+  /// When a fault notification hit the in-flight transfer: the instant, for
+  /// the failover-latency measurement closed by the next successful fetch.
+  std::optional<SimTime> pending_fault_at_;
   sim::EventHandle watchdog_;
+  double stall_timeout_ = 0.0;   // resolved from options in the constructor
+  int retries_this_cluster_ = 0;
   bool started_ = false;
   bool done_ = false;
   SessionMetrics metrics_;

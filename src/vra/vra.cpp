@@ -1,9 +1,12 @@
 #include "vra/vra.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "common/log.h"
+#include "routing/min_hop.h"
 
 namespace vod::vra {
 namespace {
@@ -29,6 +32,69 @@ Vra::Vra(const net::Topology& topology, db::FullAccessView catalog,
 bool Vra::can_provide(NodeId server, VideoId video) const {
   const db::ServerRecord& record = network_state_.server(server);
   return record.online && record.titles.contains(video);
+}
+
+void Vra::configure_degraded_mode(double max_stats_age_seconds,
+                                  std::function<SimTime()> clock) {
+  if (std::isnan(max_stats_age_seconds) || max_stats_age_seconds <= 0.0) {
+    throw std::invalid_argument(
+        "Vra::configure_degraded_mode: max age must be positive");
+  }
+  degraded_max_age_ = max_stats_age_seconds;
+  clock_ = std::move(clock);
+}
+
+bool Vra::degraded_active() const {
+  if (!clock_ || !std::isfinite(degraded_max_age_)) return false;
+  if (topology_.link_count() == 0) return false;
+  const SimTime now = clock_();
+  // The mode triggers only when the whole monitor is dark: a single link
+  // with fresh statistics means SNMP is alive and individually stale links
+  // are the normal between-polls staleness the LVNs already tolerate.
+  for (const net::LinkInfo& info : topology_.links()) {
+    if (network_state_.stats_age(info.id, now) <= degraded_max_age_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Decision> Vra::select_degraded(
+    NodeId home, const std::vector<NodeId>& holders) const {
+  // Unit-weight graph of the links still believed up.  The online flag may
+  // itself be stale, but it is the only belief left; links the service
+  // marked down via the proactive (connection-reset) path are excluded.
+  routing::Graph graph;
+  for (std::size_t n = 0; n < topology_.node_count(); ++n) {
+    const NodeId node{static_cast<NodeId::underlying_type>(n)};
+    graph.add_node(topology_.node_name(node));
+  }
+  for (const net::LinkInfo& info : topology_.links()) {
+    if (!network_state_.link(info.id).online) continue;
+    graph.add_undirected_edge(info.a, info.b, info.id, 1.0);
+  }
+
+  Decision decision;
+  decision.degraded = true;
+  for (const NodeId server : holders) {
+    if (auto path = routing::min_hop_path(graph, home, server)) {
+      decision.candidates.push_back(Candidate{server, std::move(*path)});
+    }
+  }
+  if (decision.candidates.empty()) return std::nullopt;
+  std::sort(decision.candidates.begin(), decision.candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.path.cost != b.path.cost) return a.path.cost < b.path.cost;
+              return a.server < b.server;
+            });
+  decision.served_locally = false;
+  decision.server = decision.candidates.front().server;
+  decision.path = decision.candidates.front().path;
+  ++degraded_selections_;
+  VOD_LOG_INFO("VRA: degraded mode chose "
+               << topology_.node_name(decision.server) << " at "
+               << decision.path.cost << " hops");
+  return decision;
 }
 
 routing::Graph Vra::current_weighted_graph() const {
@@ -163,6 +229,10 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
   std::erase_if(holders,
                 [&](NodeId server) { return !can_provide(server, video); });
   if (holders.empty()) return std::nullopt;
+
+  // Monitor dark: the LVNs describe a network that no longer exists, so
+  // fall back to min-hop over the links still believed up.
+  if (degraded_active()) return select_degraded(home, holders);
 
   // "Calculate the Link Validation Number for each network link; run the
   //  Dijkstra's routing algorithm from the client's adjacent server."

@@ -23,11 +23,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/sim_time.h"
 #include "db/database.h"
 #include "net/topology.h"
 #include "routing/dijkstra.h"
@@ -55,6 +58,10 @@ struct Decision {
   std::vector<Candidate> candidates;
   /// Step-by-step Dijkstra table (filled only when requested).
   routing::DijkstraTrace trace;
+  /// True when the decision came from the degraded-mode fallback (min-hop
+  /// over links still believed up) because the SNMP statistics were staler
+  /// than the configured threshold.
+  bool degraded = false;
 
   [[nodiscard]] double cost() const { return path.cost; }
 };
@@ -99,6 +106,24 @@ class Vra {
 
   [[nodiscard]] const ValidationOptions& options() const { return options_; }
 
+  // --- degraded mode (SNMP monitor outage fallback) ---
+
+  /// Enables the fallback: when *every* link's statistics are staler than
+  /// `max_stats_age_seconds` (the monitor is dark, not just one link
+  /// unreported), select_server() stops trusting the stale LVNs and routes
+  /// min-hop over the links still believed up.  `clock` supplies the
+  /// current simulation time; infinity (the default) disables the mode.
+  void configure_degraded_mode(double max_stats_age_seconds,
+                               std::function<SimTime()> clock);
+
+  /// True when the next selection would take the degraded path.
+  [[nodiscard]] bool degraded_active() const;
+
+  /// Selections answered by the degraded fallback so far.
+  [[nodiscard]] std::uint64_t degraded_selection_count() const {
+    return degraded_selections_;
+  }
+
   // --- incremental engine controls ---
 
   [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
@@ -128,6 +153,11 @@ class Vra {
   /// links epoch (full rebuild / dirty-links rewrite / as-is).
   [[nodiscard]] const routing::Graph& weighted_graph() const;
 
+  /// The degraded fallback: min-hop paths over the links whose records
+  /// still say online, ignoring the (stale) LVN weights.
+  [[nodiscard]] std::optional<Decision> select_degraded(
+      NodeId home, const std::vector<NodeId>& holders) const;
+
   void full_rebuild(std::uint64_t epoch) const;
   /// Rewrites the weights reachable from the dirty links; falls back to
   /// full_rebuild() when a dirty link's online flag flipped.
@@ -144,6 +174,9 @@ class Vra {
   db::LimitedAccessView network_state_;
   ValidationOptions options_;
   bool cache_enabled_ = true;
+  double degraded_max_age_ = std::numeric_limits<double>::infinity();
+  std::function<SimTime()> clock_;
+  mutable std::uint64_t degraded_selections_ = 0;
 
   // Cache state: logically a memo of pure functions of the database, hence
   // mutable behind the const query interface.

@@ -2,6 +2,9 @@
 // session stall watchdog.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "grnet/grnet.h"
 #include "net/transfer.h"
 #include "service/vod_service.h"
@@ -12,6 +15,22 @@ namespace vod {
 namespace {
 
 const db::AdminCredential kAdmin{"secret"};
+
+/// One fixed server behind one link — for the watchdog-focused tests.
+class SingleRoutePolicy final : public stream::ServerSelectionPolicy {
+ public:
+  SingleRoutePolicy(NodeId client, NodeId server, LinkId link)
+      : client_(client), server_(server), link_(link) {}
+  std::optional<stream::Selection> select(NodeId, VideoId) override {
+    return stream::Selection{
+        server_, routing::Path{{client_, server_}, {link_}, 1.0}};
+  }
+  const char* name() const override { return "single-route"; }
+
+ private:
+  NodeId client_, server_;
+  LinkId link_;
+};
 
 TEST(LinkFailure, DownLinkCarriesNoBackground) {
   net::Topology topo;
@@ -255,7 +274,7 @@ TEST(StallWatchdog, ExhaustedRetriesFailTheSession) {
   EXPECT_EQ(transfers.active_count(), 0u);
 }
 
-TEST(StallWatchdog, DisabledByDefault) {
+TEST(StallWatchdog, AutoTimeoutDerivedFromClusterAndCap) {
   net::Topology topo;
   const NodeId client = topo.add_node("client");
   const NodeId server = topo.add_node("server");
@@ -264,29 +283,159 @@ TEST(StallWatchdog, DisabledByDefault) {
   net::FluidNetwork network{topo, traffic};
   sim::Simulation sim;
   net::TransferManager transfers{sim, network};
-
-  class DirectPolicy final : public stream::ServerSelectionPolicy {
-   public:
-    DirectPolicy(NodeId client, NodeId server, LinkId link)
-        : client_(client), server_(server), link_(link) {}
-    std::optional<stream::Selection> select(NodeId, VideoId) override {
-      return stream::Selection{
-          server_, routing::Path{{client_, server_}, {link_}, 1.0}};
-    }
-    const char* name() const override { return "direct"; }
-
-   private:
-    NodeId client_, server_;
-    LinkId link_;
-  } policy{client, server, link};
+  SingleRoutePolicy policy{client, server, link};
 
   const db::VideoInfo video{VideoId{0}, "v", MegaBytes{40.0}, Mbps{2.0}};
   stream::Session session{sim,  transfers, policy, video,
                           client, MegaBytes{10.0}};
+  // 10 MB cluster at the 8 Mbps default cap: 10 s expected, 3x = 30 s.
+  EXPECT_DOUBLE_EQ(session.stall_timeout_seconds(), 30.0);
   session.start();
-  sim.run_until(SimTime{10000.0});
+  sim.run_until(SimTime{500.0});
+  // Healthy run: the auto watchdog never interferes.
   EXPECT_TRUE(session.metrics().finished);
   EXPECT_EQ(session.metrics().stall_retries, 0);
+
+  // Infinity is still accepted and disables the watchdog outright.
+  stream::SessionOptions off;
+  off.stall_timeout_seconds = std::numeric_limits<double>::infinity();
+  const stream::Session unbounded{sim,  transfers, policy, video,
+                                  client, MegaBytes{10.0}, off};
+  EXPECT_TRUE(std::isinf(unbounded.stall_timeout_seconds()));
+
+  // Zero or negative (other than the sentinel) is a configuration error.
+  stream::SessionOptions bad;
+  bad.stall_timeout_seconds = 0.0;
+  EXPECT_THROW((stream::Session{sim, transfers, policy, video, client,
+                                MegaBytes{10.0}, bad}),
+               std::invalid_argument);
+}
+
+TEST(StallWatchdog, AutoTimeoutFailsDeadSourceExplicitly) {
+  // Out-of-the-box options on a dead route: the session must not hang —
+  // it fails with an explicit reason once the per-cluster budget is spent.
+  net::Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId server = topo.add_node("server");
+  const LinkId link = topo.add_link(client, server, Mbps{8.0});
+  net::NoTraffic traffic;
+  net::FluidNetwork network{topo, traffic};
+  sim::Simulation sim;
+  net::TransferManager transfers{sim, network};
+  SingleRoutePolicy policy{client, server, link};
+
+  const db::VideoInfo video{VideoId{0}, "v", MegaBytes{40.0}, Mbps{2.0}};
+  stream::Session session{sim,  transfers, policy, video,
+                          client, MegaBytes{10.0}};
+  network.set_link_up(link, false);
+  session.start();
+  sim.run_until(from_hours(1.0));
+
+  const stream::SessionMetrics& m = session.metrics();
+  EXPECT_TRUE(m.failed);
+  EXPECT_EQ(m.failure_reason, "cluster stalled beyond retry budget");
+  EXPECT_EQ(m.stall_retries, 6);  // 5 retries + the failing attempt
+  ASSERT_TRUE(m.download_completed_at.has_value());
+  EXPECT_NEAR(m.download_completed_at->seconds(), 180.0, 1e-9);
+  EXPECT_EQ(transfers.active_count(), 0u);
+}
+
+TEST(StallWatchdog, PerClusterBudgetSurvivesRepeatedTransientStalls) {
+  // Two independent transient outages, each recovered after one retry: a
+  // per-cluster budget of 1 tolerates both (a session-wide budget of 1
+  // would have failed on the second).
+  net::Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId server = topo.add_node("server");
+  const LinkId link = topo.add_link(client, server, Mbps{8.0});
+  net::NoTraffic traffic;
+  net::FluidNetwork network{topo, traffic};
+  sim::Simulation sim;
+  net::TransferManager transfers{sim, network};
+  SingleRoutePolicy policy{client, server, link};
+
+  stream::SessionOptions options;
+  options.stall_timeout_seconds = 10.0;
+  options.max_retries = 1;
+  const db::VideoInfo video{VideoId{0}, "v", MegaBytes{40.0}, Mbps{2.0}};
+  stream::Session session{sim,  transfers, policy, video,
+                          client, MegaBytes{10.0}, options};
+  session.start();
+  // Outage 1 hits cluster 0; outage 2 hits cluster 2.
+  sim.schedule_at(SimTime{5.0},
+                  [&](SimTime) { network.set_link_up(link, false); });
+  sim.schedule_at(SimTime{15.0},
+                  [&](SimTime) { network.set_link_up(link, true); });
+  sim.schedule_at(SimTime{38.0},
+                  [&](SimTime) { network.set_link_up(link, false); });
+  sim.schedule_at(SimTime{50.0},
+                  [&](SimTime) { network.set_link_up(link, true); });
+  sim.run_until(SimTime{500.0});
+
+  const stream::SessionMetrics& m = session.metrics();
+  EXPECT_TRUE(m.finished);
+  EXPECT_FALSE(m.failed);
+  EXPECT_EQ(m.stall_retries, 2);
+}
+
+TEST(StallWatchdog, TotalBudgetStillCapsDeadTitles) {
+  // A huge per-cluster budget must not let a genuinely dead title retry
+  // forever: the session-wide cap fails it with its own reason.
+  net::Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId server = topo.add_node("server");
+  const LinkId link = topo.add_link(client, server, Mbps{8.0});
+  net::NoTraffic traffic;
+  net::FluidNetwork network{topo, traffic};
+  sim::Simulation sim;
+  net::TransferManager transfers{sim, network};
+  SingleRoutePolicy policy{client, server, link};
+
+  stream::SessionOptions options;
+  options.stall_timeout_seconds = 10.0;
+  options.max_retries = 100;
+  options.max_total_retries = 3;
+  const db::VideoInfo video{VideoId{0}, "v", MegaBytes{40.0}, Mbps{2.0}};
+  stream::Session session{sim,  transfers, policy, video,
+                          client, MegaBytes{10.0}, options};
+  network.set_link_up(link, false);
+  session.start();
+  sim.run_until(SimTime{500.0});
+
+  const stream::SessionMetrics& m = session.metrics();
+  EXPECT_TRUE(m.failed);
+  EXPECT_EQ(m.failure_reason, "session stalled beyond total retry budget");
+  EXPECT_EQ(m.stall_retries, 4);
+}
+
+TEST(StallWatchdog, SlowButAliveTransferIsNotAborted) {
+  // Heavy congestion leaves the flow a trickle (0.1 Mbps) — far beyond
+  // the timeout but above the rate floor: the watchdog keeps re-arming
+  // instead of churning retries on a transfer that is making progress.
+  net::Topology topo;
+  const NodeId client = topo.add_node("client");
+  const NodeId server = topo.add_node("server");
+  const LinkId link = topo.add_link(client, server, Mbps{8.0});
+  net::ConstantTraffic traffic;
+  traffic.set_load(link, Mbps{7.9});
+  net::FluidNetwork network{topo, traffic};
+  sim::Simulation sim;
+  net::TransferManager transfers{sim, network};
+  SingleRoutePolicy policy{client, server, link};
+
+  stream::SessionOptions options;
+  options.stall_timeout_seconds = 10.0;  // 1 MB at 0.1 Mbps takes 80 s
+  const db::VideoInfo video{VideoId{0}, "v", MegaBytes{2.0}, Mbps{2.0}};
+  stream::Session session{sim,  transfers, policy, video,
+                          client, MegaBytes{1.0}, options};
+  session.start();
+  sim.run_until(SimTime{500.0});
+
+  const stream::SessionMetrics& m = session.metrics();
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(m.stall_retries, 0);
+  ASSERT_TRUE(m.download_completed_at.has_value());
+  EXPECT_NEAR(m.download_completed_at->seconds(), 160.0, 1e-6);
 }
 
 TEST(ServiceFailover, LinkFailureMidStreamIsSurvived) {

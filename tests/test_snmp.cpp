@@ -102,6 +102,28 @@ TEST(SnmpModule, StopHaltsPolling) {
   EXPECT_FALSE(snmp.running());
 }
 
+TEST(SnmpModule, StopStartResumesPolling) {
+  // A monitor outage and recovery: stop() halts polling, start() resumes
+  // one full interval later, and last_poll_at() tracks the real samples.
+  Fixture fx;
+  net::FluidNetwork network{fx.topo, fx.traffic};
+  sim::Simulation sim;
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  EXPECT_FALSE(snmp.last_poll_at().has_value());
+  snmp.start();
+  sim.run_until(SimTime{120.0});  // polls at 60, 120
+  snmp.stop();
+  sim.run_until(SimTime{300.0});  // outage: nothing at 180, 240, 300
+  EXPECT_EQ(snmp.poll_count(), 2u);
+  ASSERT_TRUE(snmp.last_poll_at().has_value());
+  EXPECT_EQ(*snmp.last_poll_at(), SimTime{120.0});
+  snmp.start();
+  sim.run_until(SimTime{420.0});  // polls resume at 360, 420
+  EXPECT_EQ(snmp.poll_count(), 4u);
+  EXPECT_EQ(*snmp.last_poll_at(), SimTime{420.0});
+  EXPECT_TRUE(snmp.running());
+}
+
 TEST(SnmpModule, BackgroundOnlyModeExcludesVodFlows) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
