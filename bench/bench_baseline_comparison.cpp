@@ -67,7 +67,7 @@ RunResult run_policy(PolicyKind kind) {
   for (const net::LinkInfo& info : g.topology.links()) {
     db.register_link(info.id, info.name, info.capacity);
   }
-  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), 90.0};
+  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), Duration{90.0}};
   // The self-accounting variant reports only background traffic, removing
   // the own-flow feedback that makes the plain per-cluster VRA oscillate.
   if (kind == PolicyKind::kVraSelfAccounting) {

@@ -56,7 +56,7 @@ RunResult run(double window_seconds) {
   workload::RequestGenerator gen{videos, 1.2, homes};
   Rng rng{31337};
   const auto requests =
-      gen.generate_count(from_hours(20.0), 1800.0, 60, rng);
+      gen.generate_count(from_hours(20.0), Duration{1800.0}, 60, rng);
   for (const workload::Request& request : requests) {
     sim.schedule_at(request.at, [&service, request](SimTime) {
       (void)service.request_at(request.home, request.video);

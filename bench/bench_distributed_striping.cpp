@@ -46,7 +46,7 @@ RunResult run(bool striped) {
   for (const net::LinkInfo& info : g.topology.links()) {
     db.register_link(info.id, info.name, info.capacity);
   }
-  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), 90.0};
+  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), Duration{90.0}};
   snmp.poll_now(SimTime{0.0});
   snmp.start();
 
@@ -85,7 +85,7 @@ RunResult run(bool striped) {
   }
 
   // Sample link peaks as the run progresses.
-  sim::PeriodicTask sampler{sim, 10.0, [&](SimTime) {
+  sim::PeriodicTask sampler{sim, Duration{10.0}, [&](SimTime) {
     for (const net::LinkInfo& info : g.topology.links()) {
       max_utilization =
           std::max(max_utilization, network.utilization(info.id));

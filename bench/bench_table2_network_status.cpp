@@ -29,7 +29,7 @@ int main() {
   for (const net::LinkInfo& info : g.topology.links()) {
     db.register_link(info.id, info.name, info.capacity);
   }
-  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), 90.0};
+  snmp::SnmpModule snmp{sim, network, db.limited_view(bench::kAdmin), Duration{90.0}};
   snmp.poll_now(SimTime{0.0});
   snmp.start();
 

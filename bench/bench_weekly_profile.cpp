@@ -24,7 +24,7 @@ int main() {
 
   const grnet::CaseStudy g = grnet::build_case_study();
   const net::TraceTraffic day = grnet::table2_trace(g);
-  const net::PeriodicTraffic week{day, 86400.0};
+  const net::PeriodicTraffic week{day, Duration{86400.0}};
   sim::Simulation sim;
   net::FluidNetwork network{g.topology, week};
 
@@ -56,7 +56,7 @@ int main() {
   workload::RequestGenerator gen{videos, 1.0, homes};
   Rng rng{777};
   const auto requests = gen.generate(
-      SimTime{0.0}, 7.0 * 86400.0, 150.0 / (7.0 * 86400.0), rng);
+      SimTime{0.0}, Duration{7.0 * 86400.0}, 150.0 / (7.0 * 86400.0), rng);
   std::vector<std::pair<SessionId, double>> started;  // (id, hour of day)
   for (const workload::Request& request : requests) {
     sim.schedule_at(request.at, [&, request](SimTime t) {

@@ -34,7 +34,7 @@ int main() {
   for (const net::LinkInfo& info : g.topology.links()) {
     db.register_link(info.id, info.name, info.capacity);
   }
-  snmp::SnmpModule snmp{sim, network, db.limited_view(admin), 90.0};
+  snmp::SnmpModule snmp{sim, network, db.limited_view(admin), Duration{90.0}};
   // Account VoD streams separately so the VRA reacts to the *background*
   // congestion shift rather than to its own flow (without this the stream
   // ping-pongs between the two replicas; try flipping it).

@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
     const net::TrafficModel* traffic = &silence;
     if (day_trace) {
       repeating =
-          std::make_unique<net::PeriodicTraffic>(*day_trace, 86400.0);
+          std::make_unique<net::PeriodicTraffic>(*day_trace, Duration{86400.0});
       traffic = repeating.get();
     }
 
@@ -117,7 +117,7 @@ int main(int argc, char** argv) {
     workload::RequestGenerator gen{ids, 1.0, homes};
     Rng rng{2000};
     const auto requests = gen.generate_diurnal(
-        SimTime{0.0}, days * 86400.0,
+        SimTime{0.0}, Duration{days * 86400.0},
         static_cast<double>(per_day) / 86400.0, 20.0, 3.0, rng);
     for (const workload::Request& request : requests) {
       sim.schedule_at(request.at, [&service, request](SimTime) {

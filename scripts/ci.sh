@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The one-command gate: static checks, tier-1 tests, sanitizer and
+# resilience suites.
+#
+# Usage: scripts/ci.sh [--fast]
+#   --fast   static checks + tier-1 tests only (the edit-compile loop tier);
+#            the full run adds the ASan/UBSan suite, the resilience gate and
+#            a TSan pass when the toolchain supports it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+echo "==== static analysis ===="
+scripts/check_static.sh
+
+echo "==== tier-1 tests (default preset) ===="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ $fast -eq 1 ]]; then
+  echo "ci --fast passed"
+  exit 0
+fi
+
+echo "==== sanitizers (ASan + UBSan) ===="
+scripts/check_sanitizers.sh
+
+echo "==== resilience gate ===="
+scripts/check_resilience.sh
+
+# TSan support varies by image (needs libtsan for this compiler); probe
+# before committing to the preset so the gate degrades gracefully.
+if echo 'int main(){}' | \
+    c++ -fsanitize=thread -x c++ - -o /tmp/ci_tsan_probe 2>/dev/null; then
+  rm -f /tmp/ci_tsan_probe
+  echo "==== ThreadSanitizer ===="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+else
+  echo "==== TSan unsupported by this toolchain; skipping ===="
+fi
+
+echo "ci passed"

@@ -2,12 +2,13 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::baselines {
 
 LruTitleCache::LruTitleCache(MegaBytes capacity) : capacity_(capacity) {
-  if (capacity.value() <= 0.0) {
-    throw std::invalid_argument("LruTitleCache: capacity must be positive");
-  }
+  require(!(capacity.value() <= 0.0),
+      "LruTitleCache: capacity must be positive");
 }
 
 void LruTitleCache::evict_one() {
@@ -18,9 +19,7 @@ void LruTitleCache::evict_one() {
 }
 
 bool LruTitleCache::on_request(VideoId video, MegaBytes size) {
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument("LruTitleCache: size must be positive");
-  }
+  require(!(size.value() <= 0.0), "LruTitleCache: size must be positive");
   const auto it = index_.find(video);
   if (it != index_.end()) {
     order_.splice(order_.begin(), order_, it->second);  // move to front
@@ -35,9 +34,8 @@ bool LruTitleCache::on_request(VideoId video, MegaBytes size) {
 }
 
 LfuTitleCache::LfuTitleCache(MegaBytes capacity) : capacity_(capacity) {
-  if (capacity.value() <= 0.0) {
-    throw std::invalid_argument("LfuTitleCache: capacity must be positive");
-  }
+  require(!(capacity.value() <= 0.0),
+      "LfuTitleCache: capacity must be positive");
 }
 
 void LfuTitleCache::evict_one() {
@@ -56,9 +54,7 @@ void LfuTitleCache::evict_one() {
 }
 
 bool LfuTitleCache::on_request(VideoId video, MegaBytes size) {
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument("LfuTitleCache: size must be positive");
-  }
+  require(!(size.value() <= 0.0), "LfuTitleCache: size must be positive");
   ++frequency_[video];
   if (cached_.contains(video)) return true;
   if (size > capacity_) return false;

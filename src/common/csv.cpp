@@ -2,13 +2,13 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod {
 
 CsvWriter::CsvWriter(std::vector<std::string> header)
     : width_(header.size()) {
-  if (header.empty()) {
-    throw std::invalid_argument("CsvWriter: empty header");
-  }
+  require(!header.empty(), "CsvWriter: empty header");
   append_line(header);
 }
 
@@ -32,9 +32,7 @@ void CsvWriter::append_line(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::add_row(const std::vector<std::string>& cells) {
-  if (cells.size() != width_) {
-    throw std::invalid_argument("CsvWriter::add_row: width mismatch");
-  }
+  require(cells.size() == width_, "CsvWriter::add_row: width mismatch");
   append_line(cells);
   ++rows_;
 }

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace vod {
 
 /// A seeded pseudo-random source with the sampling helpers the workloads
@@ -24,50 +26,38 @@ class Rng {
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
-    if (!(lo < hi)) {
-      throw std::invalid_argument("Rng::uniform: empty range");
-    }
+    require(lo < hi, "Rng::uniform: empty range");
     return std::uniform_real_distribution<double>{lo, hi}(engine_);
   }
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    if (lo > hi) {
-      throw std::invalid_argument("Rng::uniform_int: empty range");
-    }
+    require(!(lo > hi), "Rng::uniform_int: empty range");
     return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
   }
 
   /// Exponential with the given rate (events per second).
   double exponential(double rate) {
-    if (rate <= 0.0) {
-      throw std::invalid_argument("Rng::exponential: rate must be positive");
-    }
+    require(!(rate <= 0.0), "Rng::exponential: rate must be positive");
     return std::exponential_distribution<double>{rate}(engine_);
   }
 
   /// Normal with mean/stddev.
   double normal(double mean, double stddev) {
-    if (stddev < 0.0) {
-      throw std::invalid_argument("Rng::normal: stddev must be >= 0");
-    }
+    require(!(stddev < 0.0), "Rng::normal: stddev must be >= 0");
     if (stddev == 0.0) return mean;
     return std::normal_distribution<double>{mean, stddev}(engine_);
   }
 
   /// True with probability p.
   bool bernoulli(double p) {
-    if (p < 0.0 || p > 1.0) {
-      throw std::invalid_argument("Rng::bernoulli: p outside [0,1]");
-    }
+    require(!(p < 0.0 || p > 1.0), "Rng::bernoulli: p outside [0,1]");
     return std::bernoulli_distribution{p}(engine_);
   }
 
   /// Index drawn from explicit (unnormalized, non-negative) weights.
   std::size_t weighted_index(const std::vector<double>& weights) {
-    if (weights.empty()) {
-      throw std::invalid_argument("Rng::weighted_index: no weights");
-    }
+    require(!weights.empty(), "Rng::weighted_index: no weights");
     std::discrete_distribution<std::size_t> dist(weights.begin(),
                                                  weights.end());
     return dist(engine_);

@@ -1,8 +1,10 @@
 // Simulation time.
 //
 // All simulated clocks in the library use SimTime: a strongly-typed count of
-// seconds since the start of the simulated scenario.  Wall-clock time never
-// appears inside the simulation.
+// seconds since the start of the simulated scenario.  Durations crossing an
+// API use the strongly-typed Duration; inside a function body plain double
+// seconds remain fine for arithmetic.  Wall-clock time never appears inside
+// the simulation.
 #pragma once
 
 #include <compare>
@@ -10,6 +12,46 @@
 #include <ostream>
 
 namespace vod {
+
+/// A span of simulated time, in seconds.  Use this (not a raw double) for
+/// any duration parameter crossing a module boundary — vodlint's
+/// [raw-units] rule enforces it for `*_seconds`-named parameters.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.seconds_ + b.seconds_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.seconds_ - b.seconds_};
+  }
+  friend constexpr Duration operator*(Duration d, double s) {
+    return Duration{d.seconds_ * s};
+  }
+  friend constexpr Duration operator*(double s, Duration d) {
+    return Duration{d.seconds_ * s};
+  }
+  friend constexpr Duration operator/(Duration d, double s) {
+    return Duration{d.seconds_ / s};
+  }
+  /// Ratio of two durations is dimensionless.
+  friend constexpr double operator/(Duration a, Duration b) {
+    return a.seconds_ / b.seconds_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.seconds_ << "s";
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
 
 /// A point in simulated time, in seconds from scenario start.
 class SimTime {
@@ -21,12 +63,18 @@ class SimTime {
 
   friend constexpr auto operator<=>(SimTime, SimTime) = default;
 
-  /// Durations are plain doubles (seconds); points shift by durations.
+  /// Points shift by durations — strongly typed or plain double seconds.
   friend constexpr SimTime operator+(SimTime t, double seconds) {
     return SimTime{t.seconds_ + seconds};
   }
   friend constexpr SimTime operator-(SimTime t, double seconds) {
     return SimTime{t.seconds_ - seconds};
+  }
+  friend constexpr SimTime operator+(SimTime t, Duration d) {
+    return SimTime{t.seconds_ + d.seconds()};
+  }
+  friend constexpr SimTime operator-(SimTime t, Duration d) {
+    return SimTime{t.seconds_ - d.seconds()};
   }
   /// Difference of two points is a duration in seconds.
   friend constexpr double operator-(SimTime a, SimTime b) {
@@ -46,7 +94,7 @@ constexpr SimTime from_minutes(double minutes) {
 }
 constexpr SimTime from_hours(double hours) { return SimTime{hours * 3600.0}; }
 
-constexpr double minutes(double m) { return m * 60.0; }
-constexpr double hours(double h) { return h * 3600.0; }
+constexpr Duration minutes(double m) { return Duration{m * 60.0}; }
+constexpr Duration hours(double h) { return Duration{h * 3600.0}; }
 
 }  // namespace vod

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace vod {
 
 /// Streaming accumulator: count / mean / min / max / stddev without
@@ -60,12 +62,8 @@ class SampleSet {
 
   /// Quantile by nearest-rank; q in [0, 1].  Throws when empty.
   [[nodiscard]] double quantile(double q) const {
-    if (samples_.empty()) {
-      throw std::logic_error("SampleSet::quantile: no samples");
-    }
-    if (q < 0.0 || q > 1.0) {
-      throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
-    }
+    ensure(!samples_.empty(), "SampleSet::quantile: no samples");
+    require(!(q < 0.0 || q > 1.0), "SampleSet::quantile: q outside [0,1]");
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod {
 
 void TextTable::add_row(std::vector<std::string> cells) {
-  if (cells.size() > headers_.size()) {
-    throw std::invalid_argument("TextTable::add_row: more cells than headers");
-  }
+  require(!(cells.size() > headers_.size()),
+      "TextTable::add_row: more cells than headers");
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
 }

@@ -12,6 +12,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod {
 
 /// Bandwidth in megabits per second.
@@ -120,18 +122,13 @@ constexpr MegaBytes gigabytes(double gb) { return MegaBytes{gb * 1024.0}; }
 /// Seconds needed to move `size` over a channel of rate `rate`.
 /// Throws std::invalid_argument for non-positive rates.
 inline double transfer_seconds(MegaBytes size, Mbps rate) {
-  if (rate.value() <= 0.0) {
-    throw std::invalid_argument("transfer_seconds: rate must be positive");
-  }
+  require(!(rate.value() <= 0.0), "transfer_seconds: rate must be positive");
   return size.megabits() / rate.value();
 }
 
 /// Rate needed to move `size` in `seconds`.
 inline Mbps rate_for_transfer(MegaBytes size, double seconds) {
-  if (seconds <= 0.0) {
-    throw std::invalid_argument(
-        "rate_for_transfer: duration must be positive");
-  }
+  require(!(seconds <= 0.0), "rate_for_transfer: duration must be positive");
   return Mbps{size.megabits() / seconds};
 }
 

@@ -3,25 +3,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::db {
 
 Database::Database(AdminCredential admin) : admin_(std::move(admin)) {
-  if (admin_.secret.empty()) {
-    throw std::invalid_argument("Database: admin secret must be non-empty");
-  }
+  require(!admin_.secret.empty(), "Database: admin secret must be non-empty");
 }
 
 VideoId Database::register_video(std::string title, MegaBytes size,
                                  Mbps bitrate) {
-  if (title.empty()) {
-    throw std::invalid_argument("register_video: empty title");
-  }
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument("register_video: size must be positive");
-  }
-  if (bitrate.value() <= 0.0) {
-    throw std::invalid_argument("register_video: bitrate must be positive");
-  }
+  require(!title.empty(), "register_video: empty title");
+  require(!(size.value() <= 0.0), "register_video: size must be positive");
+  require(!(bitrate.value() <= 0.0),
+      "register_video: bitrate must be positive");
   const VideoId id{next_video_++};
   videos_.emplace(id, VideoInfo{id, std::move(title), size, bitrate});
   return id;
@@ -29,12 +24,8 @@ VideoId Database::register_video(std::string title, MegaBytes size,
 
 void Database::register_server(NodeId node, std::string name,
                                ServerConfig config) {
-  if (!node.valid()) {
-    throw std::invalid_argument("register_server: invalid node");
-  }
-  if (servers_.contains(node)) {
-    throw std::invalid_argument("register_server: duplicate server entry");
-  }
+  require(node.valid(), "register_server: invalid node");
+  require(!servers_.contains(node), "register_server: duplicate server entry");
   ServerRecord record;
   record.id = node;
   record.name = std::move(name);
@@ -44,15 +35,10 @@ void Database::register_server(NodeId node, std::string name,
 
 void Database::register_link(LinkId link, std::string name,
                              Mbps total_bandwidth) {
-  if (!link.valid()) {
-    throw std::invalid_argument("register_link: invalid link");
-  }
-  if (links_.contains(link)) {
-    throw std::invalid_argument("register_link: duplicate link entry");
-  }
-  if (total_bandwidth.value() <= 0.0) {
-    throw std::invalid_argument("register_link: bandwidth must be positive");
-  }
+  require(link.valid(), "register_link: invalid link");
+  require(!links_.contains(link), "register_link: duplicate link entry");
+  require(!(total_bandwidth.value() <= 0.0),
+      "register_link: bandwidth must be positive");
   LinkRecord record;
   record.id = link;
   record.name = std::move(name);
@@ -63,9 +49,7 @@ void Database::register_link(LinkId link, std::string name,
 FullAccessView Database::full_view() const { return FullAccessView{this}; }
 
 LimitedAccessView Database::limited_view(const AdminCredential& credential) {
-  if (!(credential == admin_)) {
-    throw std::invalid_argument("limited_view: bad admin credential");
-  }
+  require(credential == admin_, "limited_view: bad admin credential");
   return LimitedAccessView{this};
 }
 
@@ -115,16 +99,15 @@ namespace {
 template <typename Map, typename Key>
 auto& find_or_throw(Map& map, Key key, const char* what) {
   const auto it = map.find(key);
-  if (it == map.end()) throw std::out_of_range(what);
+  require_found(it != map.end(), what);
   return it->second;
 }
 }  // namespace
 
 void LimitedAccessView::update_link_stats(LinkId link, Mbps used,
                                           double utilization, SimTime when) {
-  if (used.value() < 0.0 || utilization < 0.0 || utilization > 1.0) {
-    throw std::invalid_argument("update_link_stats: bad statistics");
-  }
+  require(!(used.value() < 0.0 || utilization < 0.0 || utilization > 1.0),
+      "update_link_stats: bad statistics");
   auto& record =
       find_or_throw(db_->links_, link, "update_link_stats: unknown link");
   // SNMP re-reporting identical counters refreshes the staleness clock but
@@ -184,9 +167,7 @@ void LimitedAccessView::set_server_online(NodeId node, bool online) {
 }
 
 void LimitedAccessView::add_title(NodeId node, VideoId video) {
-  if (!db_->videos_.contains(video)) {
-    throw std::invalid_argument("add_title: unknown video");
-  }
+  require(!(!db_->videos_.contains(video)), "add_title: unknown video");
   if (find_or_throw(db_->servers_, node, "add_title: unknown server")
           .titles.insert(video)
           .second) {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::dma {
 
 DmaCache::DmaCache(storage::DiskArray& disks, DmaOptions options,
@@ -50,12 +52,8 @@ std::vector<VideoId> DmaCache::handle_disk_failure(std::size_t slot) {
 }
 
 DmaOutcome DmaCache::on_request(VideoId video, MegaBytes size) {
-  if (!video.valid()) {
-    throw std::invalid_argument("DmaCache::on_request: invalid video");
-  }
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument("DmaCache::on_request: size must be > 0");
-  }
+  require(video.valid(), "DmaCache::on_request: invalid video");
+  require(!(size.value() <= 0.0), "DmaCache::on_request: size must be > 0");
   ++requests_;
 
   // "IF (Video is already on disk) THEN give a point"

@@ -10,6 +10,13 @@
 // The injector only *causes* faults; the recovery machinery it exercises
 // lives in the service layer (proactive session failover, service-level
 // retries, the VRA's degraded mode) and in the sessions' stall watchdogs.
+//
+// Ordering guarantee: faults scheduled for the same instant apply in the
+// order they were scheduled (EventQueue breaks timestamp ties by sequence
+// number), so a cut_link_at/restore_link_at pair at the same time nets out
+// to "restored" and the trace records both, in that order.  Together with
+// the pre-generated random schedule this makes the whole storm a pure
+// function of (options, seed) — the determinism tests assert it.
 #pragma once
 
 #include <cstddef>

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::grnet {
 
 double hour_of(TimeOfDay t) {
@@ -15,7 +17,7 @@ double hour_of(TimeOfDay t) {
     case TimeOfDay::k6pm:
       return 18.0;
   }
-  throw std::invalid_argument("hour_of: bad TimeOfDay");
+  fail_require("hour_of: bad TimeOfDay");
 }
 
 SimTime time_of(TimeOfDay t) { return from_hours(hour_of(t)); }
@@ -31,7 +33,7 @@ const char* time_label(TimeOfDay t) {
     case TimeOfDay::k6pm:
       return "6pm";
   }
-  throw std::invalid_argument("time_label: bad TimeOfDay");
+  fail_require("time_label: bad TimeOfDay");
 }
 
 CaseStudy build_case_study() {
@@ -73,7 +75,7 @@ std::string CaseStudy::city(NodeId node) const {
   if (node == thessaloniki) return "Thessaloniki";
   if (node == xanthi) return "Xanthi";
   if (node == heraklio) return "Heraklio";
-  throw std::invalid_argument("CaseStudy::city: unknown node");
+  fail_require("CaseStudy::city: unknown node");
 }
 
 namespace {
@@ -119,7 +121,7 @@ std::size_t row_of(const CaseStudy& grnet, LinkId link) {
   for (std::size_t row = 0; row < order.size(); ++row) {
     if (order[row] == link) return row;
   }
-  throw std::invalid_argument("grnet: link not part of the case study");
+  fail_require("grnet: link not part of the case study");
 }
 
 }  // namespace

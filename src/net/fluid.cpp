@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::net {
 
 FluidNetwork::FluidNetwork(const Topology& topology,
@@ -17,9 +19,7 @@ void FluidNetwork::set_change_hooks(std::function<void()> pre,
 }
 
 void FluidNetwork::set_time(SimTime t) {
-  if (t < now_) {
-    throw std::invalid_argument("FluidNetwork::set_time: time went backward");
-  }
+  require(!(t < now_), "FluidNetwork::set_time: time went backward");
   if (t == now_) return;
   pre_change();
   now_ = t;
@@ -28,15 +28,11 @@ void FluidNetwork::set_time(SimTime t) {
 }
 
 FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
-  if (rate_cap.value() <= 0.0) {
-    throw std::invalid_argument(
-        "FluidNetwork::start_flow: cap must be positive");
-  }
+  require(!(rate_cap.value() <= 0.0),
+      "FluidNetwork::start_flow: cap must be positive");
   for (const LinkId link : path) {
-    if (!topology_.has_link(link)) {
-      throw std::invalid_argument(
-          "FluidNetwork::start_flow: unknown link in path");
-    }
+    require(topology_.has_link(link),
+        "FluidNetwork::start_flow: unknown link in path");
   }
   pre_change();
   const FlowId id{next_flow_++};
@@ -47,9 +43,7 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
 }
 
 void FluidNetwork::stop_flow(FlowId flow) {
-  if (!flows_.contains(flow)) {
-    throw std::out_of_range("FluidNetwork::stop_flow: unknown flow");
-  }
+  require_found(flows_.contains(flow), "FluidNetwork::stop_flow: unknown flow");
   pre_change();
   flows_.erase(flow);
   reallocate();
@@ -58,24 +52,19 @@ void FluidNetwork::stop_flow(FlowId flow) {
 
 Mbps FluidNetwork::flow_rate(FlowId flow) const {
   const auto it = flows_.find(flow);
-  if (it == flows_.end()) {
-    throw std::out_of_range("FluidNetwork::flow_rate: unknown flow");
-  }
+  require_found(it != flows_.end(), "FluidNetwork::flow_rate: unknown flow");
   return it->second.rate;
 }
 
 const std::vector<LinkId>& FluidNetwork::flow_path(FlowId flow) const {
   const auto it = flows_.find(flow);
-  if (it == flows_.end()) {
-    throw std::out_of_range("FluidNetwork::flow_path: unknown flow");
-  }
+  require_found(it != flows_.end(), "FluidNetwork::flow_path: unknown flow");
   return it->second.path;
 }
 
 void FluidNetwork::set_link_up(LinkId link, bool up) {
-  if (!topology_.has_link(link)) {
-    throw std::out_of_range("FluidNetwork::set_link_up: unknown link");
-  }
+  require_found(topology_.has_link(link),
+      "FluidNetwork::set_link_up: unknown link");
   if (link_down_.size() <= link.value()) {
     link_down_.resize(topology_.link_count(), false);
   }
@@ -87,9 +76,8 @@ void FluidNetwork::set_link_up(LinkId link, bool up) {
 }
 
 bool FluidNetwork::link_up(LinkId link) const {
-  if (!topology_.has_link(link)) {
-    throw std::out_of_range("FluidNetwork::link_up: unknown link");
-  }
+  require_found(topology_.has_link(link),
+      "FluidNetwork::link_up: unknown link");
   return link.value() >= link_down_.size() || !link_down_[link.value()];
 }
 
@@ -104,9 +92,8 @@ std::vector<LinkId> FluidNetwork::down_links() const {
 }
 
 Mbps FluidNetwork::background(LinkId link) const {
-  if (!topology_.has_link(link)) {
-    throw std::out_of_range("FluidNetwork::background: unknown link");
-  }
+  require_found(topology_.has_link(link),
+      "FluidNetwork::background: unknown link");
   if (!link_up(link)) return Mbps{0.0};
   // Background never exceeds the link's capacity: the trace may carry the
   // paper's raw counters, but physics caps usage at the line rate.
@@ -154,12 +141,8 @@ void FluidNetwork::reallocate() {
   };
   std::vector<Active> active;
   active.reserve(flows_.size());
-  // Deterministic order: by flow id.
-  std::vector<FlowId> order;
-  order.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) order.push_back(id);
-  std::sort(order.begin(), order.end());
-  for (const FlowId id : order) active.push_back(Active{&flows_.at(id)});
+  // flows_ is ordered by id, so `active` is deterministically ordered too.
+  for (auto& [id, flow] : flows_) active.push_back(Active{&flow});
 
   // Flows with empty paths are purely local: they get their cap outright.
   for (Active& a : active) {

@@ -9,7 +9,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/ids.h"
@@ -110,7 +110,10 @@ class FluidNetwork {
   const Topology& topology_;
   const TrafficModel& traffic_;
   SimTime now_{0.0};
-  std::unordered_map<FlowId, Flow> flows_;
+  // Ordered by FlowId so every iteration (fair-share filling, per-link
+  // sums) visits flows in a platform-independent order — float reductions
+  // stay bit-identical across runs and standard libraries.
+  std::map<FlowId, Flow> flows_;
   std::vector<bool> link_down_;  // indexed by link id; default all up
   FlowId::underlying_type next_flow_ = 0;
 };

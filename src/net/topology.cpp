@@ -3,18 +3,18 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::net {
 
 NodeId LinkInfo::other_end(NodeId node) const {
   if (node == a) return b;
   if (node == b) return a;
-  throw std::invalid_argument("LinkInfo::other_end: node not an endpoint");
+  fail_require("LinkInfo::other_end: node not an endpoint");
 }
 
 NodeId Topology::add_node(std::string name) {
-  if (name.empty()) {
-    throw std::invalid_argument("Topology::add_node: empty name");
-  }
+  require(!name.empty(), "Topology::add_node: empty name");
   const NodeId id{static_cast<NodeId::underlying_type>(node_names_.size())};
   node_names_.push_back(std::move(name));
   adjacency_.emplace_back();
@@ -22,22 +22,16 @@ NodeId Topology::add_node(std::string name) {
 }
 
 void Topology::check_node(NodeId node) const {
-  if (!has_node(node)) {
-    throw std::invalid_argument("Topology: unknown node");
-  }
+  require(has_node(node), "Topology: unknown node");
 }
 
 LinkId Topology::add_link(NodeId a, NodeId b, Mbps capacity,
                           std::string name) {
   check_node(a);
   check_node(b);
-  if (a == b) {
-    throw std::invalid_argument("Topology::add_link: self-loop");
-  }
-  if (capacity.value() <= 0.0) {
-    throw std::invalid_argument(
-        "Topology::add_link: capacity must be positive");
-  }
+  require(a != b, "Topology::add_link: self-loop");
+  require(!(capacity.value() <= 0.0),
+      "Topology::add_link: capacity must be positive");
   const LinkId id{static_cast<LinkId::underlying_type>(links_.size())};
   if (name.empty()) {
     name = node_names_[a.value()] + "-" + node_names_[b.value()];
@@ -54,9 +48,7 @@ const std::string& Topology::node_name(NodeId node) const {
 }
 
 const LinkInfo& Topology::link(LinkId link) const {
-  if (!has_link(link)) {
-    throw std::out_of_range("Topology::link: unknown link");
-  }
+  require_found(has_link(link), "Topology::link: unknown link");
   return links_[link.value()];
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/contract.h"
 #include "common/csv.h"
 #include "common/table.h"
 
@@ -12,8 +13,7 @@ namespace vod::net {
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw std::invalid_argument("trace csv line " + std::to_string(line) +
-                              ": " + message);
+  fail_require("trace csv line " + std::to_string(line) + ": " + message);
 }
 
 std::vector<std::string> split_csv_line(const std::string& line) {
@@ -75,9 +75,9 @@ TraceTraffic load_trace_csv(const std::string& csv_text,
     try {
       std::size_t pos = 0;
       time_s = std::stod(fields[1], &pos);
-      if (pos != fields[1].size()) throw std::invalid_argument("t");
+      require(pos == fields[1].size(), "t");
       used = std::stod(fields[2], &pos);
-      if (pos != fields[2].size()) throw std::invalid_argument("u");
+      require(pos == fields[2].size(), "u");
     } catch (const std::exception&) {
       fail(line_no, "bad number");
     }
@@ -87,9 +87,7 @@ TraceTraffic load_trace_csv(const std::string& csv_text,
       fail(line_no, error.what());
     }
   }
-  if (!saw_header) {
-    throw std::invalid_argument("trace csv: empty input");
-  }
+  require(saw_header, "trace csv: empty input");
   return trace;
 }
 

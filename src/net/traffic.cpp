@@ -6,6 +6,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::net {
 
 namespace {
@@ -17,12 +19,8 @@ SimTime TrafficModel::next_change_after(SimTime) const {
 }
 
 void ConstantTraffic::set_load(LinkId link, Mbps load) {
-  if (!link.valid()) {
-    throw std::invalid_argument("ConstantTraffic: invalid link");
-  }
-  if (load.value() < 0.0) {
-    throw std::invalid_argument("ConstantTraffic: negative load");
-  }
+  require(link.valid(), "ConstantTraffic: invalid link");
+  require(!(load.value() < 0.0), "ConstantTraffic: negative load");
   loads_[link] = load;
 }
 
@@ -32,17 +30,11 @@ Mbps ConstantTraffic::background_load(LinkId link, SimTime) const {
 }
 
 void TraceTraffic::add_sample(LinkId link, SimTime t, Mbps load) {
-  if (!link.valid()) {
-    throw std::invalid_argument("TraceTraffic: invalid link");
-  }
-  if (load.value() < 0.0) {
-    throw std::invalid_argument("TraceTraffic: negative load");
-  }
+  require(link.valid(), "TraceTraffic: invalid link");
+  require(!(load.value() < 0.0), "TraceTraffic: negative load");
   auto& series = samples_[link];
-  if (!series.empty() && !(series.back().first < t)) {
-    throw std::invalid_argument(
-        "TraceTraffic: samples must be strictly increasing in time");
-  }
+  require(!(!series.empty() && !(series.back().first < t)),
+      "TraceTraffic: samples must be strictly increasing in time");
   series.emplace_back(t, load);
 }
 
@@ -73,54 +65,47 @@ SimTime TraceTraffic::next_change_after(SimTime t) const {
   return SimTime{best};
 }
 
-PeriodicTraffic::PeriodicTraffic(const TrafficModel& inner,
-                                 double period_seconds)
-    : inner_(inner), period_(period_seconds) {
-  if (period_seconds <= 0.0) {
-    throw std::invalid_argument("PeriodicTraffic: period must be positive");
-  }
+PeriodicTraffic::PeriodicTraffic(const TrafficModel& inner, Duration period)
+    : inner_(inner), period_(period) {
+  require(!(period.seconds() <= 0.0),
+          "PeriodicTraffic: period must be positive");
 }
 
 Mbps PeriodicTraffic::background_load(LinkId link, SimTime t) const {
-  const double wrapped = std::fmod(t.seconds(), period_);
+  const double wrapped = std::fmod(t.seconds(), period_.seconds());
   return inner_.background_load(link, SimTime{wrapped});
 }
 
 SimTime PeriodicTraffic::next_change_after(SimTime t) const {
-  const double cycle_start = std::floor(t.seconds() / period_) * period_;
+  const double period = period_.seconds();
+  const double cycle_start = std::floor(t.seconds() / period) * period;
   const double wrapped = t.seconds() - cycle_start;
   const SimTime inner_next = inner_.next_change_after(SimTime{wrapped});
-  if (inner_next.seconds() < period_) {
+  if (inner_next.seconds() < period) {
     return SimTime{cycle_start + inner_next.seconds()};
   }
   // Nothing more this cycle: the next change is the wrap itself (the
   // inner model's earliest change, next period).
   const SimTime first = inner_.next_change_after(SimTime{-1.0});
   const double offset =
-      first.seconds() < period_ && first.seconds() >= 0.0
+      first.seconds() < period && first.seconds() >= 0.0
           ? first.seconds()
           : 0.0;
-  return SimTime{cycle_start + period_ + offset};
+  return SimTime{cycle_start + period + offset};
 }
 
 DiurnalTraffic::DiurnalTraffic(double peak_hour) : peak_hour_(peak_hour) {
-  if (peak_hour < 0.0 || peak_hour >= 24.0) {
-    throw std::invalid_argument("DiurnalTraffic: peak_hour outside [0,24)");
-  }
+  require(!(peak_hour < 0.0 || peak_hour >= 24.0),
+      "DiurnalTraffic: peak_hour outside [0,24)");
 }
 
 void DiurnalTraffic::set_shape(LinkId link, LinkShape shape) {
-  if (!link.valid()) {
-    throw std::invalid_argument("DiurnalTraffic: invalid link");
-  }
-  if (shape.capacity.value() <= 0.0) {
-    throw std::invalid_argument("DiurnalTraffic: capacity must be positive");
-  }
-  if (shape.base_fraction < 0.0 || shape.peak_fraction > 1.0 ||
-      shape.base_fraction > shape.peak_fraction) {
-    throw std::invalid_argument(
-        "DiurnalTraffic: need 0 <= base <= peak <= 1");
-  }
+  require(link.valid(), "DiurnalTraffic: invalid link");
+  require(!(shape.capacity.value() <= 0.0),
+      "DiurnalTraffic: capacity must be positive");
+  require(
+      !(shape.base_fraction < 0.0 || shape.peak_fraction > 1.0 || shape.base_fraction > shape.peak_fraction),
+      "DiurnalTraffic: need 0 <= base <= peak <= 1");
   shapes_[link] = shape;
 }
 

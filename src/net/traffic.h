@@ -71,15 +71,15 @@ class TraceTraffic final : public TrafficModel {
 /// long simulated campaign.
 class PeriodicTraffic final : public TrafficModel {
  public:
-  /// `inner` must outlive this wrapper; `period_seconds` > 0.
-  PeriodicTraffic(const TrafficModel& inner, double period_seconds);
+  /// `inner` must outlive this wrapper; `period` > 0.
+  PeriodicTraffic(const TrafficModel& inner, Duration period);
 
   [[nodiscard]] Mbps background_load(LinkId link, SimTime t) const override;
   [[nodiscard]] SimTime next_change_after(SimTime t) const override;
 
  private:
   const TrafficModel& inner_;
-  double period_;
+  Duration period_;
 };
 
 /// Synthetic diurnal load: a smooth day curve peaking at `peak_hour`, scaled

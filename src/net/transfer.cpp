@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/contract.h"
+
 namespace vod::net {
 
 namespace {
@@ -39,14 +41,9 @@ void TransferManager::on_network_post_change() {
 FlowId TransferManager::start_transfer(std::vector<LinkId> path,
                                        MegaBytes size, Mbps rate_cap,
                                        CompletionCallback on_complete) {
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument(
-        "TransferManager::start_transfer: size must be positive");
-  }
-  if (!on_complete) {
-    throw std::invalid_argument(
-        "TransferManager::start_transfer: empty callback");
-  }
+  require(!(size.value() <= 0.0),
+      "TransferManager::start_transfer: size must be positive");
+  require(on_complete, "TransferManager::start_transfer: empty callback");
   const SimTime now = sim_.now();
   const BusyScope guard{busy_depth_};
   advance_progress(now);
@@ -58,9 +55,8 @@ FlowId TransferManager::start_transfer(std::vector<LinkId> path,
 
 void TransferManager::cancel(FlowId id) {
   const auto it = transfers_.find(id);
-  if (it == transfers_.end()) {
-    throw std::out_of_range("TransferManager::cancel: unknown transfer");
-  }
+  require_found(it != transfers_.end(),
+      "TransferManager::cancel: unknown transfer");
   const SimTime now = sim_.now();
   const BusyScope guard{busy_depth_};
   advance_progress(now);
@@ -71,9 +67,8 @@ void TransferManager::cancel(FlowId id) {
 
 MegaBytes TransferManager::remaining(FlowId id) const {
   const auto it = transfers_.find(id);
-  if (it == transfers_.end()) {
-    throw std::out_of_range("TransferManager::remaining: unknown transfer");
-  }
+  require_found(it != transfers_.end(),
+      "TransferManager::remaining: unknown transfer");
   // Report progress as of "now" without mutating state.
   const double elapsed = sim_.now() - last_progress_;
   const double moved_mb =
@@ -82,9 +77,8 @@ MegaBytes TransferManager::remaining(FlowId id) const {
 }
 
 Mbps TransferManager::current_rate(FlowId id) const {
-  if (!transfers_.contains(id)) {
-    throw std::out_of_range("TransferManager::current_rate: unknown");
-  }
+  require_found(transfers_.contains(id),
+      "TransferManager::current_rate: unknown");
   return network_.flow_rate(id);
 }
 

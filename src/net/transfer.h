@@ -8,7 +8,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "common/ids.h"
@@ -88,7 +88,10 @@ class TransferManager {
 
   sim::Simulation& sim_;
   FluidNetwork& network_;
-  std::unordered_map<FlowId, Transfer> transfers_;
+  // Ordered by FlowId: settle/complete/reschedule sweeps must visit
+  // transfers in a deterministic order (completion callbacks run in id
+  // order at a tie; float progress sums stay reproducible).
+  std::map<FlowId, Transfer> transfers_;
   SimTime last_progress_{0.0};
   sim::EventHandle pending_;
   int busy_depth_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contract.h"
 #include "routing/dijkstra.h"
 
 namespace vod::routing {
@@ -36,9 +37,7 @@ std::optional<Path> BellmanFordResult::path_to(NodeId node,
 }
 
 BellmanFordResult bellman_ford(const Graph& graph, NodeId source) {
-  if (!graph.has_node(source)) {
-    throw std::invalid_argument("bellman_ford: source not in graph");
-  }
+  require(graph.has_node(source), "bellman_ford: source not in graph");
   const std::size_t n = graph.node_count();
   BellmanFordResult result{source, std::vector<double>(n, kUnreached),
                            std::vector<NodeId>(n)};

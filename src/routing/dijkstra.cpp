@@ -5,12 +5,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::routing {
 
 double ShortestPaths::distance_to(NodeId node) const {
-  if (!node.valid() || node.value() >= distance_.size()) {
-    throw std::invalid_argument("ShortestPaths: unknown node");
-  }
+  require(!(!node.valid() || node.value() >= distance_.size()),
+      "ShortestPaths: unknown node");
   return distance_[node.value()];
 }
 
@@ -45,9 +46,7 @@ std::vector<NodeId> reconstruct(const std::vector<NodeId>& predecessor,
 
 ShortestPaths dijkstra(const Graph& graph, NodeId source,
                        DijkstraTrace* trace) {
-  if (!graph.has_node(source)) {
-    throw std::invalid_argument("dijkstra: source not in graph");
-  }
+  require(graph.has_node(source), "dijkstra: source not in graph");
   const std::size_t n = graph.node_count();
   std::vector<double> dist(n, kUnreached);
   std::vector<NodeId> pred(n);
@@ -104,9 +103,7 @@ ShortestPaths dijkstra(const Graph& graph, NodeId source,
 
 std::optional<Path> shortest_path(const Graph& graph, NodeId from,
                                   NodeId to) {
-  if (!graph.has_node(to)) {
-    throw std::invalid_argument("shortest_path: destination not in graph");
-  }
+  require(graph.has_node(to), "shortest_path: destination not in graph");
   return dijkstra(graph, from).path_to(to);
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::routing {
 
 NodeId Graph::add_node(std::string name) {
@@ -14,28 +16,19 @@ NodeId Graph::add_node(std::string name) {
 }
 
 void Graph::check_node(NodeId node, const char* role) const {
-  if (!has_node(node)) {
-    throw std::invalid_argument(std::string("Graph: unknown ") + role +
-                                " node");
-  }
+  require(has_node(node),
+      [&] { return std::string("Graph: unknown ") + role + " node"; });
 }
 
 void Graph::add_undirected_edge(NodeId a, NodeId b, LinkId link,
                                 double weight) {
   check_node(a, "edge endpoint");
   check_node(b, "edge endpoint");
-  if (a == b) {
-    throw std::invalid_argument("Graph: self-loops are not allowed");
-  }
-  if (!link.valid()) {
-    throw std::invalid_argument("Graph: invalid link id");
-  }
-  if (weight < 0.0) {
-    throw std::invalid_argument("Graph: negative edge weight");
-  }
-  if (link.value() < edge_index_.size() && edge_index_[link.value()]) {
-    throw std::invalid_argument("Graph: duplicate link id");
-  }
+  require(a != b, "Graph: self-loops are not allowed");
+  require(link.valid(), "Graph: invalid link id");
+  require(!(weight < 0.0), "Graph: negative edge weight");
+  require(!(link.value() < edge_index_.size() && edge_index_[link.value()]),
+      "Graph: duplicate link id");
   adjacency_[a.value()].push_back(Edge{b, link, weight});
   adjacency_[b.value()].push_back(Edge{a, link, weight});
   if (edge_index_.size() <= link.value()) {
@@ -45,13 +38,10 @@ void Graph::add_undirected_edge(NodeId a, NodeId b, LinkId link,
 }
 
 void Graph::set_edge_weight(LinkId link, double weight) {
-  if (weight < 0.0) {
-    throw std::invalid_argument("Graph: negative edge weight");
-  }
-  if (!link.valid() || link.value() >= edge_index_.size() ||
-      !edge_index_[link.value()]) {
-    throw std::out_of_range("Graph::set_edge_weight: unknown link");
-  }
+  require(!(weight < 0.0), "Graph: negative edge weight");
+  require_found(
+      !(!link.valid() || link.value() >= edge_index_.size() || !edge_index_[link.value()]),
+      "Graph::set_edge_weight: unknown link");
   const auto [a, b] = *edge_index_[link.value()];
   for (Edge& e : adjacency_[a.value()]) {
     if (e.link == link) e.weight = weight;

@@ -5,14 +5,14 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/contract.h"
 #include "routing/dijkstra.h"
 
 namespace vod::routing {
 
 std::optional<Path> min_hop_path(const Graph& graph, NodeId from, NodeId to) {
-  if (!graph.has_node(from) || !graph.has_node(to)) {
-    throw std::invalid_argument("min_hop_path: node not in graph");
-  }
+  require(!(!graph.has_node(from) || !graph.has_node(to)),
+      "min_hop_path: node not in graph");
   const std::size_t n = graph.node_count();
   std::vector<int> depth(n, -1);
   std::vector<NodeId> pred(n);

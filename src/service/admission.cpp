@@ -4,15 +4,15 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::service {
 
 AdmissionController::AdmissionController(db::LimitedAccessView view,
                                          AdmissionOptions options)
     : view_(view), options_(options) {
-  if (options.required_headroom <= 0.0) {
-    throw std::invalid_argument(
-        "AdmissionController: headroom must be positive");
-  }
+  require(!(options.required_headroom <= 0.0),
+      "AdmissionController: headroom must be positive");
 }
 
 Mbps AdmissionController::path_residual(const routing::Path& path,
@@ -33,9 +33,7 @@ Mbps AdmissionController::path_residual(const routing::Path& path,
 
 bool AdmissionController::admit(const vra::Decision& decision,
                                 Mbps bitrate) const {
-  if (bitrate.value() <= 0.0) {
-    throw std::invalid_argument("AdmissionController: bad bitrate");
-  }
+  require(!(bitrate.value() <= 0.0), "AdmissionController: bad bitrate");
   if (decision.served_locally) return true;
   const Mbps residual = path_residual(decision.path, decision.path.source());
   return residual.value() >= options_.required_headroom * bitrate.value();

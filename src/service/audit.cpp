@@ -2,14 +2,13 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
 #include "common/table.h"
 
 namespace vod::service {
 
 DecisionAudit::DecisionAudit(std::size_t capacity) : capacity_(capacity) {
-  if (capacity == 0) {
-    throw std::invalid_argument("DecisionAudit: capacity must be positive");
-  }
+  require(capacity != 0, "DecisionAudit: capacity must be positive");
 }
 
 void DecisionAudit::record(AuditEntry entry) {

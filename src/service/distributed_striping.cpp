@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
 #include "routing/dijkstra.h"
 
 namespace vod::service {
@@ -9,13 +10,9 @@ namespace vod::service {
 DistributedStripePlacer::DistributedStripePlacer(std::vector<NodeId> servers,
                                                  std::size_t replica_count)
     : servers_(std::move(servers)), replica_count_(replica_count) {
-  if (servers_.empty()) {
-    throw std::invalid_argument("DistributedStripePlacer: no servers");
-  }
-  if (replica_count_ == 0 || replica_count_ > servers_.size()) {
-    throw std::invalid_argument(
-        "DistributedStripePlacer: replica_count outside [1, servers]");
-  }
+  require(!servers_.empty(), "DistributedStripePlacer: no servers");
+  require(!(replica_count_ == 0 || replica_count_ > servers_.size()),
+      "DistributedStripePlacer: replica_count outside [1, servers]");
 }
 
 std::vector<StripeAssignment> DistributedStripePlacer::plan(
@@ -41,10 +38,8 @@ StripedSelectionPolicy::StripedSelectionPolicy(
     const vra::Vra& vra, std::vector<StripeAssignment> assignments)
     : vra_(vra) {
   for (StripeAssignment& assignment : assignments) {
-    if (assignment.servers.empty()) {
-      throw std::invalid_argument(
-          "StripedSelectionPolicy: empty server list");
-    }
+    require(!assignment.servers.empty(),
+        "StripedSelectionPolicy: empty server list");
     assignments_.emplace(assignment.video, std::move(assignment));
   }
 }

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::service {
 
 Ipv4 Ipv4::parse(const std::string& text) {
@@ -13,15 +15,12 @@ Ipv4 Ipv4::parse(const std::string& text) {
     const std::size_t dot = text.find('.', pos);
     const std::string part =
         text.substr(pos, dot == std::string::npos ? dot : dot - pos);
-    if (part.empty() || part.size() > 3 ||
-        part.find_first_not_of("0123456789") != std::string::npos) {
-      throw std::invalid_argument("Ipv4::parse: bad octet in '" + text + "'");
-    }
+    require(
+        !(part.empty() || part.size() > 3 || part.find_first_not_of("0123456789") != std::string::npos),
+        [&] { return "Ipv4::parse: bad octet in '" + text + "'"; });
     const int octet = std::stoi(part);
-    if (octet > 255) {
-      throw std::invalid_argument("Ipv4::parse: octet > 255 in '" + text +
-                                  "'");
-    }
+    require(!(octet > 255),
+        [&] { return "Ipv4::parse: octet > 255 in '" + text + "'"; });
     value = (value << 8) | static_cast<std::uint32_t>(octet);
     ++octets;
     if (dot == std::string::npos) {
@@ -30,10 +29,8 @@ Ipv4 Ipv4::parse(const std::string& text) {
     }
     pos = dot + 1;
   }
-  if (octets != 4 || pos != text.size() + 1) {
-    throw std::invalid_argument("Ipv4::parse: expected a.b.c.d, got '" +
-                                text + "'");
-  }
+  require(!(octets != 4 || pos != text.size() + 1),
+      [&] { return "Ipv4::parse: expected a.b.c.d, got '" + text + "'"; });
   return Ipv4{value};
 }
 
@@ -45,24 +42,18 @@ std::string Ipv4::to_string() const {
 }
 
 void IpDirectory::add_subnet(const std::string& cidr, NodeId node) {
-  if (!node.valid()) {
-    throw std::invalid_argument("IpDirectory::add_subnet: invalid node");
-  }
+  require(node.valid(), "IpDirectory::add_subnet: invalid node");
   const std::size_t slash = cidr.find('/');
-  if (slash == std::string::npos) {
-    throw std::invalid_argument("IpDirectory::add_subnet: missing /prefix");
-  }
+  require(slash != std::string::npos,
+      "IpDirectory::add_subnet: missing /prefix");
   const Ipv4 base = Ipv4::parse(cidr.substr(0, slash));
   const std::string prefix_text = cidr.substr(slash + 1);
-  if (prefix_text.empty() ||
-      prefix_text.find_first_not_of("0123456789") != std::string::npos) {
-    throw std::invalid_argument("IpDirectory::add_subnet: bad prefix");
-  }
+  require(
+      !(prefix_text.empty() || prefix_text.find_first_not_of("0123456789") != std::string::npos),
+      "IpDirectory::add_subnet: bad prefix");
   const int prefix = std::stoi(prefix_text);
-  if (prefix < 0 || prefix > 32) {
-    throw std::invalid_argument(
-        "IpDirectory::add_subnet: prefix outside 0..32");
-  }
+  require(!(prefix < 0 || prefix > 32),
+      "IpDirectory::add_subnet: prefix outside 0..32");
   const std::uint32_t mask =
       prefix == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix);
   entries_.push_back(Entry{base.value & mask, prefix, node});

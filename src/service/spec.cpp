@@ -4,13 +4,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::service {
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw std::invalid_argument("line " + std::to_string(line) + ": " +
-                              message);
+  fail_require("line " + std::to_string(line) + ": " + message);
 }
 
 /// Splits a line into tokens; double-quoted tokens may contain spaces.
@@ -47,7 +48,7 @@ double parse_number(const std::string& token, int line_no,
   try {
     std::size_t used = 0;
     const double value = std::stod(token, &used);
-    if (used != token.size()) throw std::invalid_argument("trailing");
+    require(used == token.size(), "trailing");
     return value;
   } catch (const std::exception&) {
     fail(line_no, std::string("bad ") + what + " '" + token + "'");
@@ -199,18 +200,16 @@ std::map<std::string, VideoId> initialize_from_spec(const ServiceSpec& spec,
   }
   for (const auto& [cidr, node_name] : spec.subnets) {
     const auto node = service.topology().find_node(node_name);
-    if (!node) {
-      throw std::invalid_argument(
-          "initialize_from_spec: service topology lacks node " + node_name);
-    }
+    require(
+        node,
+        [&] { return "initialize_from_spec: service topology lacks node " + node_name; });
     service.ip_directory().add_subnet(cidr, *node);
   }
   for (const auto& [title, node_name] : spec.placements) {
     const auto node = service.topology().find_node(node_name);
-    if (!node) {
-      throw std::invalid_argument(
-          "initialize_from_spec: service topology lacks node " + node_name);
-    }
+    require(
+        node,
+        [&] { return "initialize_from_spec: service topology lacks node " + node_name; });
     service.place_initial_copy(*node, videos.at(title));
   }
   return videos;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
 #include "common/log.h"
 
 namespace vod::service {
@@ -19,18 +20,17 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
       admin_(std::move(admin)),
       db_(admin_),
       transfers_(sim, network) {
-  if (options_.server.disk_count == 0) {
-    throw std::invalid_argument("VodService: servers need at least one disk");
-  }
+  require(options_.server.disk_count != 0,
+      "VodService: servers need at least one disk");
   register_topology();
   snmp_ = std::make_unique<snmp::SnmpModule>(
       sim_, network_, db_.limited_view(admin_),
-      options_.snmp_interval_seconds);
+      Duration{options_.snmp_interval_seconds});
   vra_ = std::make_unique<vra::Vra>(topology_, db_.full_view(),
                                     db_.limited_view(admin_),
                                     options_.validation,
                                     options_.vra_cache_enabled);
-  vra_->configure_degraded_mode(options_.degraded_stats_age_seconds,
+  vra_->configure_degraded_mode(Duration{options_.degraded_stats_age_seconds},
                                 [this] { return sim_.now(); });
   vra_policy_ = std::make_unique<stream::VraPolicy>(
       *vra_, options_.vra_switch_hysteresis);
@@ -44,10 +44,7 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
 }
 
 const DecisionAudit& VodService::audit() const {
-  if (!audit_) {
-    throw std::logic_error(
-        "VodService::audit: auditing disabled (audit_capacity == 0)");
-  }
+  ensure(audit_, "VodService::audit: auditing disabled (audit_capacity == 0)");
   return *audit_;
 }
 
@@ -59,10 +56,8 @@ void VodService::register_topology() {
     const ServerSetup& setup = override_it != options_.server_overrides.end()
                                    ? override_it->second
                                    : options_.server;
-    if (setup.disk_count == 0) {
-      throw std::invalid_argument(
-          "VodService: server override needs at least one disk");
-    }
+    require(setup.disk_count != 0,
+        "VodService: server override needs at least one disk");
     db::ServerConfig config;
     config.disk_count = static_cast<int>(setup.disk_count);
     config.disk_capacity = setup.disk_profile.capacity;
@@ -103,15 +98,11 @@ VideoId VodService::add_video(std::string title, MegaBytes size,
 
 void VodService::place_initial_copy(NodeId server, VideoId video) {
   const auto info = db_.full_view().video(video);
-  if (!info) {
-    throw std::invalid_argument("place_initial_copy: unknown video");
-  }
+  require(info, "place_initial_copy: unknown video");
   ServerState& state = servers_.at(server);
   if (state.disks->holds(video)) return;  // already there
-  if (!state.disks->store(video, info->size)) {
-    throw std::invalid_argument(
-        "place_initial_copy: disks cannot tolerate the video");
-  }
+  require(!(!state.disks->store(video,
+      info->size)), "place_initial_copy: disks cannot tolerate the video");
   db_.limited_view(admin_).add_title(server, video);
 }
 
@@ -157,22 +148,16 @@ SessionId VodService::request_by_ip(const std::string& client_ip,
                                     VideoId video,
                                     stream::Session::DoneCallback on_done) {
   const auto home = ips_.home_of(client_ip);
-  if (!home) {
-    throw std::invalid_argument("request_by_ip: no subnet matches " +
-                                client_ip);
-  }
+  require(home,
+      [&] { return "request_by_ip: no subnet matches " + client_ip; });
   return request_at(*home, video, std::move(on_done));
 }
 
 SessionId VodService::request_at(NodeId home, VideoId video,
                                  stream::Session::DoneCallback on_done) {
   const auto info = db_.full_view().video(video);
-  if (!info) {
-    throw std::invalid_argument("request_at: unknown video");
-  }
-  if (!topology_.has_node(home)) {
-    throw std::invalid_argument("request_at: unknown home node");
-  }
+  require(info, "request_at: unknown video");
+  require(topology_.has_node(home), "request_at: unknown home node");
 
   // DMA accounting at the home server: the request counts toward the
   // title's popularity there and may admit (or not) a local copy.
@@ -200,10 +185,11 @@ SessionId VodService::request_at(NodeId home, VideoId video,
     }
   }
 
-  const SessionId id = spawn_session(home, *info, std::move(on_done),
-                                     options_.failover.retry_limit,
-                                     options_.failover.retry_backoff_seconds,
-                                     /*register_batch=*/true);
+  const SessionId id =
+      spawn_session(home, *info, std::move(on_done),
+                    options_.failover.retry_limit,
+                    Duration{options_.failover.retry_backoff_seconds},
+                    /*register_batch=*/true);
   VOD_LOG_INFO("service: session " << id.value() << " for video "
                                    << info->title << " at "
                                    << topology_.node_name(home));
@@ -212,14 +198,14 @@ SessionId VodService::request_at(NodeId home, VideoId video,
 
 SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
                                     stream::Session::DoneCallback on_done,
-                                    int retries_left, double backoff_seconds,
+                                    int retries_left, Duration backoff,
                                     bool register_batch) {
   const SessionId id{next_session_++};
   auto session = std::make_unique<stream::Session>(
       sim_, transfers_, *policy_, info, home, options_.cluster_size,
       options_.session,
       wrap_with_retry(id, home, info, std::move(on_done), retries_left,
-                      backoff_seconds));
+                      backoff));
   stream::Session& ref = *session;
   sessions_.emplace(id, std::move(session));
   if (register_batch && options_.coalesce_window_seconds > 0.0) {
@@ -232,10 +218,10 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
 stream::Session::DoneCallback VodService::wrap_with_retry(
     SessionId id, NodeId home, const db::VideoInfo& info,
     stream::Session::DoneCallback on_done, int retries_left,
-    double backoff_seconds) {
+    Duration backoff) {
   if (retries_left <= 0) return on_done;
   return [this, id, home, info, on_done = std::move(on_done), retries_left,
-          backoff_seconds](const stream::Session& session) {
+          backoff](const stream::Session& session) {
     if (!session.metrics().failed) {
       if (on_done) on_done(session);
       return;
@@ -244,15 +230,14 @@ stream::Session::DoneCallback VodService::wrap_with_retry(
     // hand the user callback to the retry.
     superseded_.insert(id);
     ++service_retries_;
-    const double next_backoff =
-        std::min(backoff_seconds * options_.failover.retry_backoff_factor,
-                 options_.failover.retry_backoff_max_seconds);
+    const Duration next_backoff{
+        std::min(backoff.seconds() * options_.failover.retry_backoff_factor,
+                 options_.failover.retry_backoff_max_seconds)};
     VOD_LOG_INFO("service: session " << id.value() << " failed ("
                                      << session.metrics().failure_reason
-                                     << "); retrying in " << backoff_seconds
-                                     << " s");
+                                     << "); retrying in " << backoff);
     sim_.schedule_in(
-        backoff_seconds,
+        backoff,
         [this, id, home, info, on_done, retries_left,
          next_backoff](SimTime) {
           retried_as_.emplace(
@@ -266,12 +251,8 @@ VodService::AdmissionOutcome VodService::request_with_admission(
     NodeId home, VideoId video, double headroom,
     stream::Session::DoneCallback on_done) {
   const auto info = db_.full_view().video(video);
-  if (!info) {
-    throw std::invalid_argument("request_with_admission: unknown video");
-  }
-  if (!topology_.has_node(home)) {
-    throw std::invalid_argument("request_with_admission: unknown home");
-  }
+  require(info, "request_with_admission: unknown video");
+  require(topology_.has_node(home), "request_with_admission: unknown home");
   const auto decision = vra_->select_server(home, video);
   if (!decision) {
     // The DMA still counts the demand even when nothing can serve it.
@@ -346,9 +327,8 @@ void VodService::restore_link(LinkId link) {
 }
 
 void VodService::crash_server(NodeId server) {
-  if (!servers_.contains(server)) {
-    throw std::out_of_range("VodService::crash_server: unknown server");
-  }
+  require_found(servers_.contains(server),
+      "VodService::crash_server: unknown server");
   if (!crashed_servers_.insert(server).second) return;
   // Both modes: the VRA polls candidate servers per request, and a crashed
   // box answers no poll — only the *reaction of running sessions* differs.
@@ -365,9 +345,8 @@ void VodService::crash_server(NodeId server) {
 }
 
 void VodService::restore_server(NodeId server) {
-  if (!servers_.contains(server)) {
-    throw std::out_of_range("VodService::restore_server: unknown server");
-  }
+  require_found(servers_.contains(server),
+      "VodService::restore_server: unknown server");
   if (crashed_servers_.erase(server) == 0) return;
   // The restarted server still holds its disk contents; it re-registers as
   // online and the VRA may select it again immediately.
@@ -386,9 +365,7 @@ void VodService::set_server_online(NodeId server, bool online) {
 
 std::vector<VideoId> VodService::fail_disk(NodeId server, std::size_t slot) {
   const auto it = servers_.find(server);
-  if (it == servers_.end()) {
-    throw std::out_of_range("VodService::fail_disk: unknown server");
-  }
+  require_found(it != servers_.end(), "VodService::fail_disk: unknown server");
   // The DMA reports the casualties through its eviction callback, which
   // already removes them from the server's database entry.
   return it->second.cache->handle_disk_failure(slot);
@@ -396,17 +373,13 @@ std::vector<VideoId> VodService::fail_disk(NodeId server, std::size_t slot) {
 
 stream::Session& VodService::session(SessionId id) {
   const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw std::out_of_range("VodService::session: unknown session");
-  }
+  require_found(it != sessions_.end(), "VodService::session: unknown session");
   return *it->second;
 }
 
 const stream::Session& VodService::session(SessionId id) const {
   const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw std::out_of_range("VodService::session: unknown session");
-  }
+  require_found(it != sessions_.end(), "VodService::session: unknown session");
   return *it->second;
 }
 
@@ -419,9 +392,7 @@ std::vector<SessionId> VodService::session_ids() const {
 
 dma::DmaCache& VodService::dma_cache(NodeId server) {
   const auto it = servers_.find(server);
-  if (it == servers_.end()) {
-    throw std::out_of_range("VodService::dma_cache: unknown server");
-  }
+  require_found(it != servers_.end(), "VodService::dma_cache: unknown server");
   return *it->second.cache;
 }
 

@@ -245,12 +245,12 @@ class VodService {
   /// already paid their DMA accounting).
   SessionId spawn_session(NodeId home, const db::VideoInfo& info,
                           stream::Session::DoneCallback on_done,
-                          int retries_left, double backoff_seconds,
+                          int retries_left, Duration backoff,
                           bool register_batch);
   stream::Session::DoneCallback wrap_with_retry(
       SessionId id, NodeId home, const db::VideoInfo& info,
       stream::Session::DoneCallback on_done, int retries_left,
-      double backoff_seconds);
+      Duration backoff);
 
   /// Stamps and (if proactive) fails over every active session whose
   /// in-flight transfer `predicate` says is hit by the fault.

@@ -3,15 +3,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::sim {
 
 EventHandle EventQueue::schedule(SimTime when, Callback callback) {
-  if (when < now_) {
-    throw std::invalid_argument("EventQueue::schedule: time is in the past");
-  }
-  if (!callback) {
-    throw std::invalid_argument("EventQueue::schedule: empty callback");
-  }
+  require(!(when < now_), "EventQueue::schedule: time is in the past");
+  require(callback, "EventQueue::schedule: empty callback");
   const std::uint64_t sequence = next_sequence_++;
   heap_.push(Entry{when, sequence, std::move(callback)});
   pending_.insert(sequence);

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::sim {
 
 std::size_t Simulation::run(std::size_t max_events) {
@@ -27,15 +29,11 @@ std::size_t Simulation::run_until(SimTime until) {
   return executed;
 }
 
-PeriodicTask::PeriodicTask(Simulation& sim, double period_seconds,
+PeriodicTask::PeriodicTask(Simulation& sim, Duration period,
                            std::function<void(SimTime)> body)
-    : sim_(sim), period_(period_seconds), body_(std::move(body)) {
-  if (period_ <= 0.0) {
-    throw std::invalid_argument("PeriodicTask: period must be positive");
-  }
-  if (!body_) {
-    throw std::invalid_argument("PeriodicTask: empty body");
-  }
+    : sim_(sim), period_(period), body_(std::move(body)) {
+  require(!(period_.seconds() <= 0.0), "PeriodicTask: period must be positive");
+  require(body_, "PeriodicTask: empty body");
 }
 
 void PeriodicTask::start() {

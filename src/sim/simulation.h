@@ -21,10 +21,9 @@ class Simulation {
   [[nodiscard]] SimTime now() const { return queue_.now(); }
   EventQueue& queue() { return queue_; }
 
-  /// Schedules `callback` after `delay_seconds` from now.
-  EventHandle schedule_in(double delay_seconds,
-                          EventQueue::Callback callback) {
-    return queue_.schedule(now() + delay_seconds, std::move(callback));
+  /// Schedules `callback` after `delay` from now.
+  EventHandle schedule_in(Duration delay, EventQueue::Callback callback) {
+    return queue_.schedule(now() + delay, std::move(callback));
   }
 
   /// Schedules `callback` at the absolute time `when`.
@@ -51,8 +50,8 @@ class Simulation {
 /// end of each interval).
 class PeriodicTask {
  public:
-  /// `body` receives the firing time; `period_seconds` must be positive.
-  PeriodicTask(Simulation& sim, double period_seconds,
+  /// `body` receives the firing time; `period` must be positive.
+  PeriodicTask(Simulation& sim, Duration period,
                std::function<void(SimTime)> body);
   ~PeriodicTask() { stop(); }
 
@@ -67,7 +66,7 @@ class PeriodicTask {
   void fire(SimTime now);
 
   Simulation& sim_;
-  double period_;
+  Duration period_;
   std::function<void(SimTime)> body_;
   EventHandle pending_;
   bool running_ = false;

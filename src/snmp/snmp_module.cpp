@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::snmp {
 
 SnmpModule::SnmpModule(sim::Simulation& sim, net::FluidNetwork& network,
-                       db::LimitedAccessView view, double interval_seconds)
-    : sim_(sim), network_(network), view_(view), interval_(interval_seconds) {
-  if (interval_ <= 0.0) {
-    throw std::invalid_argument("SnmpModule: interval must be positive");
-  }
+                       db::LimitedAccessView view, Duration interval)
+    : sim_(sim), network_(network), view_(view), interval_(interval) {
+  require(!(interval_.seconds() <= 0.0),
+          "SnmpModule: interval must be positive");
 }
 
 void SnmpModule::start() {

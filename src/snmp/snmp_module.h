@@ -26,12 +26,12 @@ namespace vod::snmp {
 /// database's limited-access view.
 class SnmpModule {
  public:
-  /// `interval_seconds` defaults to 90 s — the middle of the paper's
+  /// `interval` defaults to 90 s — the middle of the paper's
   /// "1–2 minutes".  References must outlive the module.  The network is
   /// taken mutably because each sample first advances its traffic clock to
   /// the poll instant (counters must reflect "now").
   SnmpModule(sim::Simulation& sim, net::FluidNetwork& network,
-             db::LimitedAccessView view, double interval_seconds = 90.0);
+             db::LimitedAccessView view, Duration interval = Duration{90.0});
 
   /// When false, samples report only the background (non-VoD) traffic —
   /// modelling a deployment that accounts its own streams separately so
@@ -51,7 +51,7 @@ class SnmpModule {
   void poll_now(SimTime now);
 
   [[nodiscard]] std::size_t poll_count() const { return poll_count_; }
-  [[nodiscard]] double interval_seconds() const { return interval_; }
+  [[nodiscard]] double interval_seconds() const { return interval_.seconds(); }
 
   /// When the last sample was taken (nullopt before the first); lets the
   /// fault tooling assert a monitor outage and the resumption after it.
@@ -65,7 +65,7 @@ class SnmpModule {
   sim::Simulation& sim_;
   net::FluidNetwork& network_;
   db::LimitedAccessView view_;
-  double interval_;
+  Duration interval_;
   bool count_vod_flows_ = true;
   std::size_t poll_count_ = 0;
   std::optional<SimTime> last_poll_at_;

@@ -2,29 +2,23 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::storage {
 
 Disk::Disk(DiskId id, DiskProfile profile) : id_(id), profile_(profile) {
-  if (!id.valid()) {
-    throw std::invalid_argument("Disk: invalid id");
-  }
-  if (profile.capacity.value() <= 0.0 ||
-      profile.transfer_rate.value() <= 0.0 || profile.seek_seconds < 0.0) {
-    throw std::invalid_argument("Disk: bad profile");
-  }
+  require(id.valid(), "Disk: invalid id");
+  require(
+      !(profile.capacity.value() <= 0.0 || profile.transfer_rate.value() <= 0.0 || profile.seek_seconds < 0.0),
+      "Disk: bad profile");
 }
 
 void Disk::store_part(VideoId video, std::size_t part_index, MegaBytes size) {
-  if (size.value() <= 0.0) {
-    throw std::invalid_argument("Disk::store_part: size must be positive");
-  }
-  if (!can_fit(size)) {
-    throw std::invalid_argument("Disk::store_part: does not fit");
-  }
+  require(!(size.value() <= 0.0), "Disk::store_part: size must be positive");
+  require(can_fit(size), "Disk::store_part: does not fit");
   auto& video_parts = parts_[video];
-  if (video_parts.contains(part_index)) {
-    throw std::invalid_argument("Disk::store_part: duplicate part");
-  }
+  require(!video_parts.contains(part_index),
+      "Disk::store_part: duplicate part");
   video_parts.emplace(part_index, size);
   used_ += size;
 }
@@ -57,9 +51,7 @@ std::size_t Disk::stored_part_count() const {
 }
 
 double Disk::read_seconds(MegaBytes amount) const {
-  if (amount.value() < 0.0) {
-    throw std::invalid_argument("Disk::read_seconds: negative amount");
-  }
+  require(!(amount.value() < 0.0), "Disk::read_seconds: negative amount");
   return profile_.seek_seconds +
          amount.megabits() / profile_.transfer_rate.value();
 }

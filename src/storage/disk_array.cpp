@@ -4,20 +4,17 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::storage {
 
 DiskArray::DiskArray(std::size_t disk_count, DiskProfile profile,
                      MegaBytes cluster, StripingMode mode)
     : mode_(mode), failed_(disk_count, false), cluster_(cluster) {
-  if (disk_count == 0) {
-    throw std::invalid_argument("DiskArray: need at least one disk");
-  }
-  if (mode == StripingMode::kParity && disk_count < 2) {
-    throw std::invalid_argument("DiskArray: parity needs >= 2 disks");
-  }
-  if (cluster.value() <= 0.0) {
-    throw std::invalid_argument("DiskArray: cluster must be positive");
-  }
+  require(disk_count != 0, "DiskArray: need at least one disk");
+  require(!(mode == StripingMode::kParity && disk_count < 2),
+      "DiskArray: parity needs >= 2 disks");
+  require(!(cluster.value() <= 0.0), "DiskArray: cluster must be positive");
   disks_.reserve(disk_count);
   for (std::size_t slot = 0; slot < disk_count; ++slot) {
     disks_.emplace_back(DiskId{static_cast<DiskId::underlying_type>(slot)},
@@ -34,9 +31,7 @@ std::vector<std::size_t> DiskArray::healthy_slots() const {
 }
 
 bool DiskArray::disk_failed(std::size_t slot) const {
-  if (slot >= disks_.size()) {
-    throw std::out_of_range("DiskArray::disk_failed: bad slot");
-  }
+  require_found(!(slot >= disks_.size()), "DiskArray::disk_failed: bad slot");
   return failed_[slot];
 }
 
@@ -67,9 +62,7 @@ bool DiskArray::recoverable(const StripePlacement& placement) const {
 }
 
 std::vector<VideoId> DiskArray::fail_disk(std::size_t slot) {
-  if (slot >= disks_.size()) {
-    throw std::out_of_range("DiskArray::fail_disk: bad slot");
-  }
+  require_found(!(slot >= disks_.size()), "DiskArray::fail_disk: bad slot");
   if (failed_[slot]) return {};
   failed_[slot] = true;
   std::vector<VideoId> lost;
@@ -86,16 +79,12 @@ bool DiskArray::readable(VideoId video) const {
 }
 
 void DiskArray::repair_disk(std::size_t slot) {
-  if (slot >= disks_.size()) {
-    throw std::out_of_range("DiskArray::repair_disk: bad slot");
-  }
+  require_found(!(slot >= disks_.size()), "DiskArray::repair_disk: bad slot");
   failed_[slot] = false;
 }
 
 const Disk& DiskArray::disk(std::size_t slot) const {
-  if (slot >= disks_.size()) {
-    throw std::out_of_range("DiskArray::disk: bad slot");
-  }
+  require_found(!(slot >= disks_.size()), "DiskArray::disk: bad slot");
   return disks_[slot];
 }
 
@@ -119,9 +108,7 @@ bool DiskArray::can_tolerate(MegaBytes size) const {
 
 std::optional<StripePlacement> DiskArray::store(VideoId video,
                                                 MegaBytes size) {
-  if (holds(video)) {
-    throw std::invalid_argument("DiskArray::store: video already stored");
-  }
+  require(!holds(video), "DiskArray::store: video already stored");
   if (!can_tolerate(size)) return std::nullopt;
   const std::vector<std::size_t> healthy = healthy_slots();
   StripePlacement placement =
@@ -152,9 +139,8 @@ MegaBytes DiskArray::remove(VideoId video) {
 
 const StripePlacement& DiskArray::placement(VideoId video) const {
   const auto it = placements_.find(video);
-  if (it == placements_.end()) {
-    throw std::out_of_range("DiskArray::placement: video not stored");
-  }
+  require_found(it != placements_.end(),
+      "DiskArray::placement: video not stored");
   return it->second;
 }
 
@@ -180,17 +166,14 @@ MegaBytes DiskArray::total_used() const {
 double DiskArray::cluster_read_seconds(VideoId video,
                                        std::size_t part_index) const {
   const StripePlacement& placement = this->placement(video);
-  if (part_index >= placement.part_count()) {
-    throw std::out_of_range("DiskArray::cluster_read_seconds: bad part");
-  }
+  require_found(!(part_index >= placement.part_count()),
+      "DiskArray::cluster_read_seconds: bad part");
   const std::size_t slot = placement.part_to_disk[part_index];
   if (!failed_[slot]) {
     return disks_[slot].read_seconds(placement.part_sizes[part_index]);
   }
-  if (!placement.has_parity() || !recoverable(placement)) {
-    throw std::logic_error(
-        "DiskArray::cluster_read_seconds: cluster unreadable");
-  }
+  ensure(!(!placement.has_parity() || !recoverable(placement)),
+      "DiskArray::cluster_read_seconds: cluster unreadable");
   // Degraded read: reconstruct from the row's survivors, which sit on
   // distinct disks and read in parallel — latency is the slowest member.
   const std::size_t row = part_index / placement.row_width;

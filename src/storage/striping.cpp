@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::storage {
 
 MegaBytes StripePlacement::total_size() const {
@@ -17,18 +19,14 @@ std::vector<MegaBytes> StripePlacement::per_disk_bytes(
   std::vector<MegaBytes> out(disk_count, MegaBytes{0.0});
   for (std::size_t part = 0; part < part_to_disk.size(); ++part) {
     const std::size_t slot = part_to_disk[part];
-    if (slot >= disk_count) {
-      throw std::invalid_argument(
-          "StripePlacement::per_disk_bytes: placement uses more disks");
-    }
+    require(!(slot >= disk_count),
+        "StripePlacement::per_disk_bytes: placement uses more disks");
     out[slot] += part_sizes[part];
   }
   for (std::size_t row = 0; row < parity_to_disk.size(); ++row) {
     const std::size_t slot = parity_to_disk[row];
-    if (slot >= disk_count) {
-      throw std::invalid_argument(
-          "StripePlacement::per_disk_bytes: parity uses more disks");
-    }
+    require(!(slot >= disk_count),
+        "StripePlacement::per_disk_bytes: parity uses more disks");
     out[slot] += parity_sizes[row];
   }
   return out;
@@ -36,18 +34,10 @@ std::vector<MegaBytes> StripePlacement::per_disk_bytes(
 
 StripePlacement plan_striping(VideoId video, MegaBytes video_size,
                               MegaBytes cluster, std::size_t disk_count) {
-  if (!video.valid()) {
-    throw std::invalid_argument("plan_striping: invalid video");
-  }
-  if (video_size.value() <= 0.0) {
-    throw std::invalid_argument("plan_striping: size must be positive");
-  }
-  if (cluster.value() <= 0.0) {
-    throw std::invalid_argument("plan_striping: cluster must be positive");
-  }
-  if (disk_count == 0) {
-    throw std::invalid_argument("plan_striping: need at least one disk");
-  }
+  require(video.valid(), "plan_striping: invalid video");
+  require(!(video_size.value() <= 0.0), "plan_striping: size must be positive");
+  require(!(cluster.value() <= 0.0), "plan_striping: cluster must be positive");
+  require(disk_count != 0, "plan_striping: need at least one disk");
 
   // p = ceil(size / c); the paper's p = size/c with the remainder forming a
   // short final part.
@@ -74,10 +64,8 @@ StripePlacement plan_striping(VideoId video, MegaBytes video_size,
 StripePlacement plan_parity_striping(VideoId video, MegaBytes video_size,
                                      MegaBytes cluster,
                                      std::size_t disk_count) {
-  if (disk_count < 2) {
-    throw std::invalid_argument(
-        "plan_parity_striping: parity needs at least two disks");
-  }
+  require(!(disk_count < 2),
+      "plan_parity_striping: parity needs at least two disks");
   // Start from the plain plan for sizes/validation, then redo placement
   // row by row around the rotating parity slot.
   StripePlacement placement =

@@ -2,13 +2,14 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::stream {
 
 VraPolicy::VraPolicy(const vra::Vra& vra, double switch_hysteresis)
     : vra_(vra), hysteresis_(switch_hysteresis) {
-  if (switch_hysteresis < 0.0 || switch_hysteresis >= 1.0) {
-    throw std::invalid_argument("VraPolicy: hysteresis outside [0, 1)");
-  }
+  require(!(switch_hysteresis < 0.0 || switch_hysteresis >= 1.0),
+      "VraPolicy: hysteresis outside [0, 1)");
 }
 
 std::optional<Selection> VraPolicy::select(NodeId home, VideoId video) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contract.h"
 #include "common/log.h"
 #include "storage/striping.h"
 
@@ -20,25 +21,20 @@ Session::Session(sim::Simulation& sim, net::TransferManager& transfers,
       home_(home),
       options_(options),
       on_done_(std::move(on_done)) {
-  if (!home.valid()) {
-    throw std::invalid_argument("Session: invalid home node");
-  }
-  if (cluster_size.value() <= 0.0) {
-    throw std::invalid_argument("Session: cluster size must be positive");
-  }
-  if (options_.prebuffer_clusters == 0) {
-    throw std::invalid_argument("Session: prebuffer must be >= 1 cluster");
-  }
+  require(home.valid(), "Session: invalid home node");
+  require(!(cluster_size.value() <= 0.0),
+      "Session: cluster size must be positive");
+  require(options_.prebuffer_clusters != 0,
+      "Session: prebuffer must be >= 1 cluster");
   if (options_.stall_timeout_seconds == kAutoStallTimeout) {
-    if (options_.flow_cap.value() <= 0.0) {
-      throw std::invalid_argument("Session: flow cap must be positive");
-    }
+    require(!(options_.flow_cap.value() <= 0.0),
+        "Session: flow cap must be positive");
     stall_timeout_ =
         3.0 * cluster_size.megabits() / options_.flow_cap.value();
   } else if (options_.stall_timeout_seconds > 0.0) {
     stall_timeout_ = options_.stall_timeout_seconds;  // infinity disables
   } else {
-    throw std::invalid_argument(
+    fail_require(
         "Session: stall timeout must be positive, infinity, or "
         "kAutoStallTimeout");
   }
@@ -57,9 +53,7 @@ Session::~Session() {
 }
 
 void Session::start() {
-  if (started_) {
-    throw std::logic_error("Session::start: already started");
-  }
+  ensure(!started_, "Session::start: already started");
   started_ = true;
   metrics_.requested_at = sim_.now();
   fetch_next_cluster(sim_.now());
@@ -72,9 +66,7 @@ void Session::abort(const std::string& reason) {
 
 void Session::add_done_callback(DoneCallback callback) {
   if (!callback) return;
-  if (done_) {
-    throw std::logic_error("Session::add_done_callback: already done");
-  }
+  ensure(!done_, "Session::add_done_callback: already done");
   if (!on_done_) {
     on_done_ = std::move(callback);
     return;
@@ -97,9 +89,9 @@ void Session::resume() {
   pause_started_.reset();
 }
 
-double Session::advance_playhead(double from, double content_seconds) const {
+double Session::advance_playhead(double from, Duration content) const {
   double wall = from;
-  double left = content_seconds;
+  double left = content.seconds();
   for (const auto& [pause_at, resume_at] : metrics_.pauses) {
     const double p = pause_at.seconds();
     const double r = resume_at.seconds();
@@ -143,7 +135,7 @@ void Session::fetch_next_cluster(SimTime now) {
 
   if (std::isfinite(stall_timeout_)) {
     watchdog_ = sim_.schedule_in(
-        stall_timeout_,
+        Duration{stall_timeout_},
         [this, index](SimTime t) { on_stall_timeout(index, t); });
   }
 }
@@ -163,7 +155,7 @@ void Session::on_stall_timeout(std::size_t index, SimTime now) {
   if (transfers_.active(*inflight_) &&
       transfers_.current_rate(*inflight_) >= options_.stall_rate_floor) {
     watchdog_ = sim_.schedule_in(
-        stall_timeout_,
+        Duration{stall_timeout_},
         [this, index](SimTime t) { on_stall_timeout(index, t); });
     return;
   }
@@ -189,9 +181,8 @@ void Session::on_stall_timeout(std::size_t index, SimTime now) {
 }
 
 void Session::on_cluster_done(std::size_t index, SimTime now) {
-  if (index != metrics_.cluster_completed.size()) {
-    throw std::logic_error("Session: clusters completed out of order");
-  }
+  ensure(index == metrics_.cluster_completed.size(),
+      "Session: clusters completed out of order");
   cancel_watchdog();
   inflight_.reset();
   inflight_path_.clear();
@@ -249,7 +240,7 @@ void Session::finalize_playback() {
   // Playback begins once the prebuffer is in — or once the user unpauses,
   // whichever is later.
   const SimTime buffered = metrics_.cluster_completed[prebuffer - 1];
-  const double start = advance_playhead(buffered.seconds(), 0.0);
+  const double start = advance_playhead(buffered.seconds(), Duration{0.0});
   metrics_.playback_started_at = SimTime{start};
 
   double playhead = start;
@@ -262,7 +253,8 @@ void Session::finalize_playback() {
       playhead = arrival;
     }
     playhead = advance_playhead(
-        playhead, part_sizes_[k].megabits() / video_.bitrate.value());
+        playhead,
+        Duration{part_sizes_[k].megabits() / video_.bitrate.value()});
   }
   if (metrics_.finished) {
     metrics_.playback_finished_at = SimTime{playhead};

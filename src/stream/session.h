@@ -215,10 +215,9 @@ class Session {
   SessionOptions options_;
   DoneCallback on_done_;
 
-  /// Wall time after consuming `content_seconds` of video starting at wall
-  /// time `from`, accounting for the recorded pause intervals.
-  [[nodiscard]] double advance_playhead(double from,
-                                        double content_seconds) const;
+  /// Wall time after consuming `content` of video starting at wall time
+  /// `from`, accounting for the recorded pause intervals.
+  [[nodiscard]] double advance_playhead(double from, Duration content) const;
 
   std::vector<MegaBytes> part_sizes_;
   std::size_t next_cluster_ = 0;

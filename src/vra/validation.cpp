@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::vra {
 
 LinkStats DbLinkStatsProvider::stats(LinkId link) const {
@@ -12,22 +14,17 @@ LinkStats DbLinkStatsProvider::stats(LinkId link) const {
 }
 
 void MapLinkStatsProvider::set(LinkId link, LinkStats stats) {
-  if (!link.valid()) {
-    throw std::invalid_argument("MapLinkStatsProvider::set: invalid link");
-  }
-  if (stats.total.value() <= 0.0) {
-    throw std::invalid_argument(
-        "MapLinkStatsProvider::set: total bandwidth must be positive");
-  }
+  require(link.valid(), "MapLinkStatsProvider::set: invalid link");
+  require(!(stats.total.value() <= 0.0),
+      "MapLinkStatsProvider::set: total bandwidth must be positive");
   if (stats_.size() <= link.value()) stats_.resize(link.value() + 1);
   stats_[link.value()] = stats;
 }
 
 LinkStats MapLinkStatsProvider::stats(LinkId link) const {
-  if (!link.valid() || link.value() >= stats_.size() ||
-      !stats_[link.value()]) {
-    throw std::out_of_range("MapLinkStatsProvider::stats: unknown link");
-  }
+  require_found(
+      !(!link.valid() || link.value() >= stats_.size() || !stats_[link.value()]),
+      "MapLinkStatsProvider::stats: unknown link");
   return *stats_[link.value()];
 }
 
@@ -35,18 +32,12 @@ LvnCalculator::LvnCalculator(const net::Topology& topology,
                              const LinkStatsProvider& stats,
                              ValidationOptions options)
     : topology_(topology), stats_(stats), options_(std::move(options)) {
-  if (options_.normalization_constant <= 0.0) {
-    throw std::invalid_argument(
-        "LvnCalculator: normalization constant must be positive");
-  }
-  if (options_.server_load_weight < 0.0) {
-    throw std::invalid_argument(
-        "LvnCalculator: server load weight must be >= 0");
-  }
-  if (options_.server_load_weight > 0.0 && !options_.server_load) {
-    throw std::invalid_argument(
-        "LvnCalculator: server_load callback required when weighted");
-  }
+  require(!(options_.normalization_constant <= 0.0),
+      "LvnCalculator: normalization constant must be positive");
+  require(!(options_.server_load_weight < 0.0),
+      "LvnCalculator: server load weight must be >= 0");
+  require(!(options_.server_load_weight > 0.0 && !options_.server_load),
+      "LvnCalculator: server_load callback required when weighted");
 }
 
 double LvnCalculator::node_validation(NodeId node) const {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/contract.h"
 #include "common/log.h"
 #include "routing/min_hop.h"
 
@@ -34,13 +35,12 @@ bool Vra::can_provide(NodeId server, VideoId video) const {
   return record.online && record.titles.contains(video);
 }
 
-void Vra::configure_degraded_mode(double max_stats_age_seconds,
+void Vra::configure_degraded_mode(Duration max_stats_age,
                                   std::function<SimTime()> clock) {
-  if (std::isnan(max_stats_age_seconds) || max_stats_age_seconds <= 0.0) {
-    throw std::invalid_argument(
-        "Vra::configure_degraded_mode: max age must be positive");
-  }
-  degraded_max_age_ = max_stats_age_seconds;
+  const double age = max_stats_age.seconds();
+  require(!(std::isnan(age) || age <= 0.0),
+      "Vra::configure_degraded_mode: max age must be positive");
+  degraded_max_age_ = age;
   clock_ = std::move(clock);
 }
 
@@ -204,12 +204,8 @@ const routing::Graph& Vra::weighted_graph() const {
 
 std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
                                            bool want_trace) const {
-  if (!topology_.has_node(home)) {
-    throw std::invalid_argument("Vra::select_server: unknown home node");
-  }
-  if (!catalog_.video(video)) {
-    throw std::invalid_argument("Vra::select_server: unknown video");
-  }
+  require(topology_.has_node(home), "Vra::select_server: unknown home node");
+  require(catalog_.video(video), "Vra::select_server: unknown video");
 
   // "IF the adjacent to the client video server can provide the requested
   //  video THEN authorize the server to start transferring and QUIT."

@@ -109,11 +109,11 @@ class Vra {
   // --- degraded mode (SNMP monitor outage fallback) ---
 
   /// Enables the fallback: when *every* link's statistics are staler than
-  /// `max_stats_age_seconds` (the monitor is dark, not just one link
-  /// unreported), select_server() stops trusting the stale LVNs and routes
-  /// min-hop over the links still believed up.  `clock` supplies the
-  /// current simulation time; infinity (the default) disables the mode.
-  void configure_degraded_mode(double max_stats_age_seconds,
+  /// `max_stats_age` (the monitor is dark, not just one link unreported),
+  /// select_server() stops trusting the stale LVNs and routes min-hop over
+  /// the links still believed up.  `clock` supplies the current simulation
+  /// time; infinity (the default) disables the mode.
+  void configure_degraded_mode(Duration max_stats_age,
                                std::function<SimTime()> clock);
 
   /// True when the next selection would take the degraded path.

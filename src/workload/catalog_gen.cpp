@@ -2,20 +2,18 @@
 
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::workload {
 
 std::vector<VideoId> populate_catalog(db::Database& database,
                                       const CatalogSpec& spec, Rng& rng) {
-  if (spec.title_count == 0) {
-    throw std::invalid_argument("populate_catalog: empty catalog");
-  }
-  if (!(spec.min_size.value() > 0.0) || spec.max_size < spec.min_size) {
-    throw std::invalid_argument("populate_catalog: bad size range");
-  }
-  if (!(spec.min_bitrate.value() > 0.0) ||
-      spec.max_bitrate < spec.min_bitrate) {
-    throw std::invalid_argument("populate_catalog: bad bitrate range");
-  }
+  require(spec.title_count != 0, "populate_catalog: empty catalog");
+  require(!(!(spec.min_size.value() > 0.0) || spec.max_size < spec.min_size),
+      "populate_catalog: bad size range");
+  require(
+      !(!(spec.min_bitrate.value() > 0.0) || spec.max_bitrate < spec.min_bitrate),
+      "populate_catalog: bad bitrate range");
 
   std::vector<VideoId> ids;
   ids.reserve(spec.title_count);

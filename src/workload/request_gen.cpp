@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::workload {
 
 RequestGenerator::RequestGenerator(std::vector<VideoId> videos,
@@ -14,16 +16,10 @@ RequestGenerator::RequestGenerator(std::vector<VideoId> videos,
       zipf_(videos_.empty() ? 1 : videos_.size(), zipf_skew),
       homes_(std::move(homes)),
       home_weights_(std::move(home_weights)) {
-  if (videos_.empty()) {
-    throw std::invalid_argument("RequestGenerator: no videos");
-  }
-  if (homes_.empty()) {
-    throw std::invalid_argument("RequestGenerator: no home nodes");
-  }
-  if (!home_weights_.empty() && home_weights_.size() != homes_.size()) {
-    throw std::invalid_argument(
-        "RequestGenerator: weights/homes size mismatch");
-  }
+  require(!videos_.empty(), "RequestGenerator: no videos");
+  require(!homes_.empty(), "RequestGenerator: no home nodes");
+  require(!(!home_weights_.empty() && home_weights_.size() != homes_.size()),
+      "RequestGenerator: weights/homes size mismatch");
 }
 
 Request RequestGenerator::draw(SimTime at, Rng& rng) const {
@@ -37,15 +33,14 @@ Request RequestGenerator::draw(SimTime at, Rng& rng) const {
 }
 
 std::vector<Request> RequestGenerator::generate(SimTime start,
-                                                double duration_seconds,
+                                                Duration duration,
                                                 double rate_per_second,
                                                 Rng& rng) const {
-  if (duration_seconds < 0.0 || rate_per_second <= 0.0) {
-    throw std::invalid_argument("RequestGenerator::generate: bad params");
-  }
+  require(!(duration.seconds() < 0.0 || rate_per_second <= 0.0),
+      "RequestGenerator::generate: bad params");
   std::vector<Request> out;
   double t = start.seconds();
-  const double end = start.seconds() + duration_seconds;
+  const double end = start.seconds() + duration.seconds();
   for (;;) {
     t += rng.exponential(rate_per_second);
     if (t >= end) break;
@@ -55,20 +50,14 @@ std::vector<Request> RequestGenerator::generate(SimTime start,
 }
 
 std::vector<Request> RequestGenerator::generate_diurnal(
-    SimTime start, double duration_seconds, double mean_rate_per_second,
+    SimTime start, Duration duration, double mean_rate_per_second,
     double peak_hour, double peak_to_trough, Rng& rng) const {
-  if (duration_seconds < 0.0 || mean_rate_per_second <= 0.0) {
-    throw std::invalid_argument(
-        "RequestGenerator::generate_diurnal: bad params");
-  }
-  if (peak_hour < 0.0 || peak_hour >= 24.0) {
-    throw std::invalid_argument(
-        "RequestGenerator::generate_diurnal: peak_hour outside [0,24)");
-  }
-  if (peak_to_trough < 1.0) {
-    throw std::invalid_argument(
-        "RequestGenerator::generate_diurnal: ratio must be >= 1");
-  }
+  require(!(duration.seconds() < 0.0 || mean_rate_per_second <= 0.0),
+      "RequestGenerator::generate_diurnal: bad params");
+  require(!(peak_hour < 0.0 || peak_hour >= 24.0),
+      "RequestGenerator::generate_diurnal: peak_hour outside [0,24)");
+  require(!(peak_to_trough < 1.0),
+      "RequestGenerator::generate_diurnal: ratio must be >= 1");
   // rate(t) = mean * (1 + a cos(2π (h - peak)/24)) has mean `mean` over a
   // day and peak/trough = (1+a)/(1-a); invert for a.
   const double a = (peak_to_trough - 1.0) / (peak_to_trough + 1.0);
@@ -76,7 +65,7 @@ std::vector<Request> RequestGenerator::generate_diurnal(
 
   std::vector<Request> out;
   double t = start.seconds();
-  const double end = start.seconds() + duration_seconds;
+  const double end = start.seconds() + duration.seconds();
   for (;;) {
     t += rng.exponential(max_rate);  // candidate from the dominating rate
     if (t >= end) break;
@@ -93,18 +82,16 @@ std::vector<Request> RequestGenerator::generate_diurnal(
 }
 
 std::vector<Request> RequestGenerator::generate_count(
-    SimTime start, double duration_seconds, std::size_t count,
+    SimTime start, Duration duration, std::size_t count,
     Rng& rng) const {
-  if (duration_seconds < 0.0) {
-    throw std::invalid_argument(
-        "RequestGenerator::generate_count: bad duration");
-  }
+  require(!(duration.seconds() < 0.0),
+      "RequestGenerator::generate_count: bad duration");
   std::vector<Request> out;
   out.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     const double offset =
         count <= 1 ? 0.0
-                   : duration_seconds * static_cast<double>(i) /
+                   : duration.seconds() * static_cast<double>(i) /
                          static_cast<double>(count);
     out.push_back(draw(start + offset, rng));
   }

@@ -27,15 +27,14 @@ class RequestGenerator {
                    std::vector<double> home_weights = {});
 
   /// Poisson stream at `rate_per_second` over [start, start + duration).
-  [[nodiscard]] std::vector<Request> generate(SimTime start,
-                                              double duration_seconds,
+  [[nodiscard]] std::vector<Request> generate(SimTime start, Duration duration,
                                               double rate_per_second,
                                               Rng& rng) const;
 
   /// Exactly `count` requests spread uniformly over the interval (for
   /// benches wanting fixed sample sizes).
   [[nodiscard]] std::vector<Request> generate_count(SimTime start,
-                                                    double duration_seconds,
+                                                    Duration duration,
                                                     std::size_t count,
                                                     Rng& rng) const;
 
@@ -44,7 +43,7 @@ class RequestGenerator {
   /// peak/trough ratio `peak_to_trough` >= 1 (VoD demand peaks in the
   /// evening).  Implemented by thinning; deterministic per seed.
   [[nodiscard]] std::vector<Request> generate_diurnal(
-      SimTime start, double duration_seconds, double mean_rate_per_second,
+      SimTime start, Duration duration, double mean_rate_per_second,
       double peak_hour, double peak_to_trough, Rng& rng) const;
 
  private:

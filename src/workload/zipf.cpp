@@ -4,15 +4,13 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contract.h"
+
 namespace vod::workload {
 
 ZipfDistribution::ZipfDistribution(std::size_t n, double skew) : skew_(skew) {
-  if (n == 0) {
-    throw std::invalid_argument("ZipfDistribution: need at least one item");
-  }
-  if (skew < 0.0) {
-    throw std::invalid_argument("ZipfDistribution: skew must be >= 0");
-  }
+  require(n != 0, "ZipfDistribution: need at least one item");
+  require(!(skew < 0.0), "ZipfDistribution: skew must be >= 0");
   cumulative_.resize(n);
   double total = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
@@ -24,9 +22,8 @@ ZipfDistribution::ZipfDistribution(std::size_t n, double skew) : skew_(skew) {
 }
 
 double ZipfDistribution::probability(std::size_t rank) const {
-  if (rank >= cumulative_.size()) {
-    throw std::out_of_range("ZipfDistribution::probability: bad rank");
-  }
+  require_found(!(rank >= cumulative_.size()),
+      "ZipfDistribution::probability: bad rank");
   return rank == 0 ? cumulative_[0]
                    : cumulative_[rank] - cumulative_[rank - 1];
 }

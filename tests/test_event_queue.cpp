@@ -30,6 +30,39 @@ TEST(EventQueue, SameTimeFiresInScheduleOrder) {
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+// Regression (determinism audit): cancelling some of a same-time batch must
+// not disturb the schedule order of the survivors — the sequence tiebreak
+// is assigned at schedule time and cancellation only removes entries.
+TEST(EventQueue, SameTimeOrderSurvivesInterleavedCancels) {
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 6; ++i) {
+    handles.push_back(
+        queue.schedule(SimTime{1.0}, [&, i](SimTime) { fired.push_back(i); }));
+  }
+  EXPECT_TRUE(queue.cancel(handles[1]));
+  EXPECT_TRUE(queue.cancel(handles[4]));
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 2, 3, 5}));
+}
+
+// An event scheduled *during* a same-time batch (for the same instant) fires
+// after the whole batch: its sequence number is necessarily larger.
+TEST(EventQueue, SameTimeEventScheduledMidBatchFiresLast) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.schedule(SimTime{1.0}, [&](SimTime) {
+    fired.push_back(0);
+    queue.schedule(SimTime{1.0}, [&](SimTime) { fired.push_back(9); });
+  });
+  queue.schedule(SimTime{1.0}, [&](SimTime) { fired.push_back(1); });
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 9}));
+}
+
 TEST(EventQueue, CallbackReceivesEventTime) {
   EventQueue queue;
   SimTime seen{0.0};

@@ -104,7 +104,7 @@ TEST(LinkFailure, SnmpMarksLinkOffline) {
   for (const net::LinkInfo& info : g.topology.links()) {
     db.register_link(info.id, info.name, info.capacity);
   }
-  snmp::SnmpModule snmp{sim, network, db.limited_view(kAdmin), 90.0};
+  snmp::SnmpModule snmp{sim, network, db.limited_view(kAdmin), Duration{90.0}};
   snmp.poll_now(SimTime{0.0});
   EXPECT_TRUE(db.limited_view(kAdmin).link(g.patra_athens).online);
   network.set_link_up(g.patra_athens, false);

@@ -110,6 +110,33 @@ TEST(FaultInjector, ScriptedFaultsApplyInOrderAndTrace) {
   EXPECT_EQ(holders.front(), fx.g.thessaloniki);
 }
 
+// Determinism audit: faults scheduled for the same instant apply in the
+// order they were scheduled — the event queue's sequence tiebreak, not heap
+// luck, decides.  A cut+restore pair at one instant nets out to "restored"
+// and the trace shows both records in scheduling order.
+TEST(FaultInjector, SameInstantFaultsApplyInSchedulingOrder) {
+  Fixture fx;
+  fault::FaultInjector injector{fx.sim, *fx.service};
+
+  injector.cut_link_at(SimTime{50.0}, fx.g.patra_ioannina);
+  injector.snmp_outage_at(SimTime{50.0});
+  injector.restore_link_at(SimTime{50.0}, fx.g.patra_ioannina);
+  injector.crash_server_at(SimTime{50.0}, fx.g.thessaloniki);
+  fx.sim.run_until(SimTime{60.0});
+
+  const auto& trace = injector.trace();
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].kind, fault::FaultKind::kLinkCut);
+  EXPECT_EQ(trace[1].kind, fault::FaultKind::kSnmpOutage);
+  EXPECT_EQ(trace[2].kind, fault::FaultKind::kLinkRestore);
+  EXPECT_EQ(trace[3].kind, fault::FaultKind::kServerCrash);
+  for (const auto& record : trace) EXPECT_EQ(record.at, SimTime{50.0});
+
+  // The pair nets out to restored; the crash stands.
+  EXPECT_TRUE(fx.network.link_up(fx.g.patra_ioannina));
+  EXPECT_TRUE(fx.service->server_crashed(fx.g.thessaloniki));
+}
+
 TEST(FaultInjector, SeededScheduleIsDeterministic) {
   fault::FaultScheduleOptions storm;
   storm.horizon_seconds = 1800.0;
@@ -270,7 +297,7 @@ TEST(DegradedMode, StaleStatsFallBackToMinHop) {
 
   SimTime now{0.0};
   vra::Vra vra{g.topology, db.full_view(), db.limited_view(kAdmin), {}};
-  vra.configure_degraded_mode(120.0, [&now] { return now; });
+  vra.configure_degraded_mode(Duration{120.0}, [&now] { return now; });
 
   // Fresh statistics: the LVN weights rule.
   now = SimTime{60.0};

@@ -29,8 +29,8 @@ TEST(SimTime, Ordering) {
 TEST(SimTime, HelperConversions) {
   EXPECT_DOUBLE_EQ(from_minutes(2.0).seconds(), 120.0);
   EXPECT_DOUBLE_EQ(from_hours(8.0).seconds(), 28800.0);
-  EXPECT_DOUBLE_EQ(minutes(1.5), 90.0);
-  EXPECT_DOUBLE_EQ(hours(0.5), 1800.0);
+  EXPECT_DOUBLE_EQ(minutes(1.5).seconds(), 90.0);
+  EXPECT_DOUBLE_EQ(hours(0.5).seconds(), 1800.0);
 }
 
 }  // namespace

@@ -11,8 +11,8 @@ namespace {
 TEST(Simulation, RunExecutesEverything) {
   Simulation sim;
   int count = 0;
-  sim.schedule_in(1.0, [&](SimTime) { ++count; });
-  sim.schedule_in(2.0, [&](SimTime) { ++count; });
+  sim.schedule_in(Duration{1.0}, [&](SimTime) { ++count; });
+  sim.schedule_in(Duration{2.0}, [&](SimTime) { ++count; });
   EXPECT_EQ(sim.run(), 2u);
   EXPECT_EQ(count, 2);
 }
@@ -20,7 +20,7 @@ TEST(Simulation, RunExecutesEverything) {
 TEST(Simulation, RunRespectsMaxEvents) {
   Simulation sim;
   for (int i = 0; i < 10; ++i) {
-    sim.schedule_in(static_cast<double>(i + 1), [](SimTime) {});
+    sim.schedule_in(Duration{static_cast<double>(i + 1)}, [](SimTime) {});
   }
   EXPECT_EQ(sim.run(3), 3u);
   EXPECT_EQ(sim.queue().pending_count(), 7u);
@@ -56,7 +56,7 @@ TEST(Simulation, ScheduleInIsRelativeToNow) {
   Simulation sim;
   sim.run_until(SimTime{10.0});
   SimTime fired_at{0.0};
-  sim.schedule_in(5.0, [&](SimTime t) { fired_at = t; });
+  sim.schedule_in(Duration{5.0}, [&](SimTime t) { fired_at = t; });
   sim.run();
   EXPECT_EQ(fired_at, SimTime{15.0});
 }
@@ -64,7 +64,7 @@ TEST(Simulation, ScheduleInIsRelativeToNow) {
 TEST(PeriodicTask, FiresAtEachPeriod) {
   Simulation sim;
   std::vector<double> fired;
-  PeriodicTask task{sim, 10.0,
+  PeriodicTask task{sim, Duration{10.0},
                     [&](SimTime t) { fired.push_back(t.seconds()); }};
   task.start();
   sim.run_until(SimTime{35.0});
@@ -75,7 +75,7 @@ TEST(PeriodicTask, FiresAtEachPeriod) {
 TEST(PeriodicTask, StopHaltsFiring) {
   Simulation sim;
   int count = 0;
-  PeriodicTask task{sim, 1.0, [&](SimTime) { ++count; }};
+  PeriodicTask task{sim, Duration{1.0}, [&](SimTime) { ++count; }};
   task.start();
   sim.run_until(SimTime{2.5});
   task.stop();
@@ -86,7 +86,7 @@ TEST(PeriodicTask, StopHaltsFiring) {
 TEST(PeriodicTask, RestartResumesFromCurrentTime) {
   Simulation sim;
   std::vector<double> fired;
-  PeriodicTask task{sim, 5.0,
+  PeriodicTask task{sim, Duration{5.0},
                     [&](SimTime t) { fired.push_back(t.seconds()); }};
   task.start();
   sim.run_until(SimTime{6.0});
@@ -101,7 +101,7 @@ TEST(PeriodicTask, RestartResumesFromCurrentTime) {
 TEST(PeriodicTask, BodyMayStopTheTask) {
   Simulation sim;
   int count = 0;
-  PeriodicTask task{sim, 1.0, [&](SimTime) {
+  PeriodicTask task{sim, Duration{1.0}, [&](SimTime) {
                       if (++count == 2) task.stop();
                     }};
   task.start();
@@ -112,7 +112,7 @@ TEST(PeriodicTask, BodyMayStopTheTask) {
 TEST(PeriodicTask, DoubleStartIsIdempotent) {
   Simulation sim;
   int count = 0;
-  PeriodicTask task{sim, 1.0, [&](SimTime) { ++count; }};
+  PeriodicTask task{sim, Duration{1.0}, [&](SimTime) { ++count; }};
   task.start();
   task.start();
   sim.run_until(SimTime{1.0});
@@ -121,11 +121,11 @@ TEST(PeriodicTask, DoubleStartIsIdempotent) {
 
 TEST(PeriodicTask, RejectsBadArguments) {
   Simulation sim;
-  EXPECT_THROW(PeriodicTask(sim, 0.0, [](SimTime) {}),
+  EXPECT_THROW(PeriodicTask(sim, Duration{0.0}, [](SimTime) {}),
                std::invalid_argument);
-  EXPECT_THROW(PeriodicTask(sim, -1.0, [](SimTime) {}),
+  EXPECT_THROW(PeriodicTask(sim, Duration{-1.0}, [](SimTime) {}),
                std::invalid_argument);
-  EXPECT_THROW(PeriodicTask(sim, 1.0, std::function<void(SimTime)>{}),
+  EXPECT_THROW(PeriodicTask(sim, Duration{1.0}, std::function<void(SimTime)>{}),
                std::invalid_argument);
 }
 

@@ -41,7 +41,7 @@ TEST(SnmpModule, PeriodicPollingAtConfiguredInterval) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{60.0}};
   snmp.start();
   sim.run_until(SimTime{300.0});
   EXPECT_EQ(snmp.poll_count(), 5u);  // at 60, 120, 180, 240, 300
@@ -61,7 +61,7 @@ TEST(SnmpModule, StatsReflectFlowActivityAtPollTime) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{60.0}};
   snmp.start();
   network.start_flow({fx.ab}, Mbps{0.5});
   sim.run_until(SimTime{60.0});
@@ -74,7 +74,7 @@ TEST(SnmpModule, StaleBetweenPolls) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 90.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{90.0}};
   snmp.poll_now(SimTime{0.0});
   snmp.start();
   // A flow starting mid-interval is invisible until the next poll.
@@ -93,7 +93,7 @@ TEST(SnmpModule, StopHaltsPolling) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{60.0}};
   snmp.start();
   sim.run_until(SimTime{120.0});
   snmp.stop();
@@ -108,7 +108,7 @@ TEST(SnmpModule, StopStartResumesPolling) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{60.0}};
   EXPECT_FALSE(snmp.last_poll_at().has_value());
   snmp.start();
   sim.run_until(SimTime{120.0});  // polls at 60, 120
@@ -128,7 +128,7 @@ TEST(SnmpModule, BackgroundOnlyModeExcludesVodFlows) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 60.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{60.0}};
   EXPECT_TRUE(snmp.count_vod_flows());
   snmp.set_count_vod_flows(false);
   EXPECT_FALSE(snmp.count_vod_flows());
@@ -145,7 +145,7 @@ TEST(SnmpModule, RejectsNonPositiveInterval) {
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
   EXPECT_THROW(
-      SnmpModule(sim, network, fx.db.limited_view(kAdmin), 0.0),
+      SnmpModule(sim, network, fx.db.limited_view(kAdmin), Duration{0.0}),
       std::invalid_argument);
 }
 
@@ -153,7 +153,7 @@ TEST(SnmpModule, UpdateTimestampsMatchPollTime) {
   Fixture fx;
   net::FluidNetwork network{fx.topo, fx.traffic};
   sim::Simulation sim;
-  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), 90.0};
+  SnmpModule snmp{sim, network, fx.db.limited_view(kAdmin), Duration{90.0}};
   snmp.start();
   sim.run_until(SimTime{180.0});
   EXPECT_EQ(fx.db.limited_view(kAdmin).link(fx.ab).last_snmp_update,

@@ -80,7 +80,7 @@ std::string run_soak(std::uint64_t seed, int days) {
 
   workload::RequestGenerator gen{videos, 1.0, scenario.edges};
   const auto requests = gen.generate_diurnal(
-      SimTime{0.0}, days * 86400.0,
+      SimTime{0.0}, Duration{days * 86400.0},
       40.0 * days / (days * 86400.0),  // ~40 requests per day
       20.0, 3.0, rng);
   for (const workload::Request& request : requests) {

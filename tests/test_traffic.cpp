@@ -83,7 +83,7 @@ TEST(PeriodicTraffic, WrapsInnerModel) {
   TraceTraffic day;
   day.add_sample(LinkId{0}, SimTime{0.0}, Mbps{1.0});
   day.add_sample(LinkId{0}, SimTime{50.0}, Mbps{2.0});
-  const PeriodicTraffic repeating{day, 100.0};
+  const PeriodicTraffic repeating{day, Duration{100.0}};
   EXPECT_EQ(repeating.background_load(LinkId{0}, SimTime{10.0}), Mbps{1.0});
   EXPECT_EQ(repeating.background_load(LinkId{0}, SimTime{60.0}), Mbps{2.0});
   // Second cycle mirrors the first.
@@ -99,7 +99,7 @@ TEST(PeriodicTraffic, NextChangeWithinCycle) {
   TraceTraffic day;
   day.add_sample(LinkId{0}, SimTime{0.0}, Mbps{1.0});
   day.add_sample(LinkId{0}, SimTime{50.0}, Mbps{2.0});
-  const PeriodicTraffic repeating{day, 100.0};
+  const PeriodicTraffic repeating{day, Duration{100.0}};
   EXPECT_DOUBLE_EQ(repeating.next_change_after(SimTime{10.0}).seconds(),
                    50.0);
   EXPECT_DOUBLE_EQ(repeating.next_change_after(SimTime{110.0}).seconds(),
@@ -110,7 +110,7 @@ TEST(PeriodicTraffic, NextChangeCrossesTheWrap) {
   TraceTraffic day;
   day.add_sample(LinkId{0}, SimTime{0.0}, Mbps{1.0});
   day.add_sample(LinkId{0}, SimTime{50.0}, Mbps{2.0});
-  const PeriodicTraffic repeating{day, 100.0};
+  const PeriodicTraffic repeating{day, Duration{100.0}};
   // After the last in-cycle change, the next event is the wrap (t=100,
   // where the value snaps back to the cycle-start sample).
   EXPECT_DOUBLE_EQ(repeating.next_change_after(SimTime{60.0}).seconds(),
@@ -121,7 +121,7 @@ TEST(PeriodicTraffic, NextChangeCrossesTheWrap) {
 
 TEST(PeriodicTraffic, RejectsNonPositivePeriod) {
   NoTraffic none;
-  EXPECT_THROW(PeriodicTraffic(none, 0.0), std::invalid_argument);
+  EXPECT_THROW(PeriodicTraffic(none, Duration{0.0}), std::invalid_argument);
 }
 
 TEST(DiurnalTraffic, PeaksAtPeakHour) {

@@ -131,14 +131,14 @@ TEST(RequestGen, PoissonRateApproximatelyHonored) {
   RequestGenerator gen{{VideoId{0}, VideoId{1}}, 1.0,
                        {NodeId{0}, NodeId{1}}};
   Rng rng{5};
-  const auto requests = gen.generate(SimTime{0.0}, 10000.0, 0.5, rng);
+  const auto requests = gen.generate(SimTime{0.0}, Duration{10000.0}, 0.5, rng);
   EXPECT_NEAR(static_cast<double>(requests.size()), 5000.0, 300.0);
 }
 
 TEST(RequestGen, RequestsWithinWindowAndSorted) {
   RequestGenerator gen{{VideoId{0}}, 1.0, {NodeId{0}}};
   Rng rng{5};
-  const auto requests = gen.generate(SimTime{100.0}, 50.0, 1.0, rng);
+  const auto requests = gen.generate(SimTime{100.0}, Duration{50.0}, 1.0, rng);
   SimTime last{0.0};
   for (const Request& request : requests) {
     EXPECT_GE(request.at.seconds(), 100.0);
@@ -153,8 +153,8 @@ TEST(RequestGen, DeterministicPerSeed) {
                        {NodeId{0}, NodeId{1}}};
   Rng rng1{9};
   Rng rng2{9};
-  const auto a = gen.generate(SimTime{0.0}, 100.0, 1.0, rng1);
-  const auto b = gen.generate(SimTime{0.0}, 100.0, 1.0, rng2);
+  const auto a = gen.generate(SimTime{0.0}, Duration{100.0}, 1.0, rng1);
+  const auto b = gen.generate(SimTime{0.0}, Duration{100.0}, 1.0, rng2);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].at, b[i].at);
@@ -167,7 +167,7 @@ TEST(RequestGen, GenerateCountExact) {
   RequestGenerator gen{{VideoId{0}, VideoId{1}}, 1.0, {NodeId{0}}};
   Rng rng{3};
   const auto requests =
-      gen.generate_count(SimTime{0.0}, 100.0, 42, rng);
+      gen.generate_count(SimTime{0.0}, Duration{100.0}, 42, rng);
   EXPECT_EQ(requests.size(), 42u);
 }
 
@@ -176,7 +176,7 @@ TEST(RequestGen, HomeWeightsHonored) {
                        {0.0, 1.0}};
   Rng rng{3};
   for (const Request& request :
-       gen.generate_count(SimTime{0.0}, 10.0, 100, rng)) {
+       gen.generate_count(SimTime{0.0}, Duration{10.0}, 100, rng)) {
     EXPECT_EQ(request.home, NodeId{1});
   }
 }
@@ -186,7 +186,7 @@ TEST(RequestGen, DiurnalMeanRateApproximatelyHonored) {
   Rng rng{13};
   // Two full days at 0.1/s mean: expect ~17280 requests.
   const auto requests = gen.generate_diurnal(
-      SimTime{0.0}, 2.0 * 86400.0, 0.1, 20.0, 3.0, rng);
+      SimTime{0.0}, Duration{2.0 * 86400.0}, 0.1, 20.0, 3.0, rng);
   EXPECT_NEAR(static_cast<double>(requests.size()), 17280.0, 600.0);
 }
 
@@ -194,7 +194,7 @@ TEST(RequestGen, DiurnalPeakBeatsTrough) {
   RequestGenerator gen{{VideoId{0}}, 1.0, {NodeId{0}}};
   Rng rng{13};
   const auto requests = gen.generate_diurnal(
-      SimTime{0.0}, 86400.0, 0.1, 20.0, 4.0, rng);
+      SimTime{0.0}, Duration{86400.0}, 0.1, 20.0, 4.0, rng);
   int near_peak = 0;
   int near_trough = 0;  // trough at 8h
   for (const Request& request : requests) {
@@ -208,7 +208,7 @@ TEST(RequestGen, DiurnalPeakBeatsTrough) {
 TEST(RequestGen, DiurnalSortedAndBounded) {
   RequestGenerator gen{{VideoId{0}}, 1.0, {NodeId{0}}};
   Rng rng{13};
-  const auto requests = gen.generate_diurnal(SimTime{1000.0}, 3600.0, 0.05,
+  const auto requests = gen.generate_diurnal(SimTime{1000.0}, Duration{3600.0}, 0.05,
                                              12.0, 2.0, rng);
   SimTime last{0.0};
   for (const Request& request : requests) {
@@ -223,13 +223,13 @@ TEST(RequestGen, DiurnalValidation) {
   RequestGenerator gen{{VideoId{0}}, 1.0, {NodeId{0}}};
   Rng rng{13};
   EXPECT_THROW(
-      gen.generate_diurnal(SimTime{0.0}, 10.0, 0.0, 12.0, 2.0, rng),
+      gen.generate_diurnal(SimTime{0.0}, Duration{10.0}, 0.0, 12.0, 2.0, rng),
       std::invalid_argument);
   EXPECT_THROW(
-      gen.generate_diurnal(SimTime{0.0}, 10.0, 1.0, 24.0, 2.0, rng),
+      gen.generate_diurnal(SimTime{0.0}, Duration{10.0}, 1.0, 24.0, 2.0, rng),
       std::invalid_argument);
   EXPECT_THROW(
-      gen.generate_diurnal(SimTime{0.0}, 10.0, 1.0, 12.0, 0.5, rng),
+      gen.generate_diurnal(SimTime{0.0}, Duration{10.0}, 1.0, 12.0, 0.5, rng),
       std::invalid_argument);
 }
 
@@ -241,7 +241,7 @@ TEST(RequestGen, PopularTitlesDominatUnderHighSkew) {
   RequestGenerator gen{videos, 1.2, {NodeId{0}}};
   Rng rng{11};
   int top_five = 0;
-  const auto requests = gen.generate_count(SimTime{0.0}, 10.0, 2000, rng);
+  const auto requests = gen.generate_count(SimTime{0.0}, Duration{10.0}, 2000, rng);
   for (const Request& request : requests) {
     if (request.video.value() < 5) ++top_five;
   }

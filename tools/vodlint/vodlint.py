@@ -1,0 +1,560 @@
+#!/usr/bin/env python3
+"""vodlint — project-specific determinism & invariant checker.
+
+Generic tools (clang-tidy, compiler warnings) cannot see the project's own
+correctness contracts.  vodlint enforces the ones that keep every simulation
+a deterministic function of its seed, and the unit/contract discipline that
+keeps module APIs honest:
+
+  [unordered-iter]  No iteration over std::unordered_map/std::unordered_set
+                    in library code (src/).  Hash-order iteration leaks the
+                    container's bucket layout into routing, scheduling and
+                    cache-eviction decisions — and floating-point reductions
+                    are not associative, so even "just summing" in hash
+                    order can flip a comparison downstream.  Waive loops
+                    whose result is provably order-insensitive with
+                    // vodlint:ordered-ok(<reason>).
+
+  [entropy]         No rand()/srand(), std::random_device, wall-clock or
+                    time-of-day reads outside src/common/rng.h.  Every
+                    stochastic draw must flow through a seeded vod::Rng and
+                    every clock through SimTime.  Waive with
+                    // vodlint:entropy-ok(<reason>).
+
+  [raw-units]       No raw `double` function parameters named *_seconds /
+                    *_mbps / *_mb in headers.  Quantities crossing an API
+                    must use SimTime/Duration/Mbps/MegaBytes so the type
+                    system, not a naming convention, carries the unit.
+                    (Struct fields keep the suffix convention: the name is
+                    the documentation there, and no call site can transpose
+                    them.)  Waive with // vodlint:units-ok(<reason>).
+
+  [raw-throw]       No `throw` of raw types (string literals, numbers,
+                    bools) anywhere, and no direct `throw` of exception
+                    objects outside src/common/contract.h — contract
+                    violations go through require()/ensure()/require_found()
+                    or their fail_*() siblings so messages stay lazy and the
+                    exception taxonomy stays consistent.  Waive with
+                    // vodlint:throw-ok(<reason>).
+
+  [eager-message]   No eagerly-built std::string messages (concatenation,
+                    std::to_string) passed to require()/ensure()/
+                    require_found().  The message argument is evaluated even
+                    when the condition holds, so hot-path checks must pass a
+                    string literal or a lazy lambda.  Waive with
+                    // vodlint:contract-ok(<reason>).
+
+Usage:
+    vodlint.py [--root DIR] [PATH...]      # default PATH: src
+    vodlint.py --self-test                 # run the embedded rule fixtures
+
+Exit status: 0 when clean, 1 on unwaived violations (or self-test failure),
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# Model
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+WAIVERS = {
+    "unordered-iter": "ordered-ok",
+    "entropy": "entropy-ok",
+    "raw-units": "units-ok",
+    "raw-throw": "throw-ok",
+    "eager-message": "contract-ok",
+}
+
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+# Files exempt from specific rules (path suffix match, '/'-normalized).
+ENTROPY_EXEMPT = ("src/common/rng.h",)
+THROW_EXEMPT = ("src/common/contract.h",)
+
+
+# --------------------------------------------------------------------------
+# Source handling
+# --------------------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving offsets.
+
+    Newlines survive so line numbers stay valid.  Waiver comments are read
+    from the *raw* text, never from this stripped view.
+    """
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line-comment | block-comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block-comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line-comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block-comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append("\n" if c == "\n" else " ")
+        elif state == "char":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def has_waiver(raw_lines: list[str], index: int, tag: str) -> bool:
+    """True when line `index` (0-based) or the line above carries the waiver."""
+    needle = f"vodlint:{tag}("
+    if needle in raw_lines[index]:
+        return True
+    return index > 0 and needle in raw_lines[index - 1]
+
+
+def statement_from(lines: list[str], index: int, max_span: int = 8) -> str:
+    """Joins up to `max_span` lines starting at `index` until parens balance."""
+    depth = 0
+    parts = []
+    for j in range(index, min(index + max_span, len(lines))):
+        parts.append(lines[j])
+        depth += lines[j].count("(") - lines[j].count(")")
+        if depth <= 0 and j > index:
+            break
+        if depth <= 0 and "(" in lines[j]:
+            break
+    return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Rules
+# --------------------------------------------------------------------------
+
+UNORDERED_DECL = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s+"
+    r"(\w+)\s*[;={(]"
+)
+
+
+def collect_unordered_names(stripped_texts: dict[str, str]) -> set[str]:
+    """Names of members/variables declared with an unordered container,
+    collected repo-wide so loops in .cpp files see declarations from .h."""
+    names: set[str] = set()
+    for text in stripped_texts.values():
+        for match in UNORDERED_DECL.finditer(text):
+            names.add(match.group(1))
+    return names
+
+
+def check_unordered_iteration(
+    path: str, raw: list[str], stripped: list[str], unordered: set[str]
+) -> list[Violation]:
+    if not unordered:
+        return []
+    range_for = re.compile(r"\bfor\s*\(.*:\s*[\w.\->]*?\b(\w+)\s*\)")
+    explicit_iter = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin|rbegin)\s*\(")
+    out = []
+    for i, line in enumerate(stripped):
+        hits = set()
+        m = range_for.search(line)
+        if m and m.group(1) in unordered:
+            hits.add(m.group(1))
+        for m in explicit_iter.finditer(line):
+            if m.group(1) in unordered:
+                hits.add(m.group(1))
+        for name in sorted(hits):
+            if has_waiver(raw, i, WAIVERS["unordered-iter"]):
+                continue
+            out.append(
+                Violation(
+                    path,
+                    i + 1,
+                    "unordered-iter",
+                    f"iteration over unordered container '{name}' leaks hash "
+                    "order into results; use an ordered container/sorted "
+                    "index or waive with // vodlint:ordered-ok(<reason>)",
+                )
+            )
+    return out
+
+
+ENTROPY_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (
+        re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall-clock reads",
+    ),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"(?<![\w.:>])time\s*\(\s*(?:NULL|nullptr|0|&)"), "time()"),
+    (re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\b(?:localtime|gmtime|mktime)\s*\("), "calendar time"),
+]
+
+
+def check_entropy(path: str, raw: list[str], stripped: list[str]) -> list[Violation]:
+    norm = path.replace(os.sep, "/")
+    if any(norm.endswith(suffix) for suffix in ENTROPY_EXEMPT):
+        return []
+    out = []
+    for i, line in enumerate(stripped):
+        for pattern, what in ENTROPY_PATTERNS:
+            if pattern.search(line):
+                if has_waiver(raw, i, WAIVERS["entropy"]):
+                    continue
+                out.append(
+                    Violation(
+                        path,
+                        i + 1,
+                        "entropy",
+                        f"{what} outside src/common/rng.h breaks "
+                        "seed-reproducibility; draw through vod::Rng / "
+                        "SimTime or waive with "
+                        "// vodlint:entropy-ok(<reason>)",
+                    )
+                )
+    return out
+
+
+RAW_UNIT_PARAM = re.compile(
+    r"\bdouble\s+(\w+_(?:seconds|mbps|mb))\s*(?:=\s*[^,();]*)?[,)]"
+)
+
+
+def check_raw_units(path: str, raw: list[str], stripped: list[str]) -> list[Violation]:
+    if not path.endswith((".h", ".hpp")):
+        return []
+    out = []
+    for i, line in enumerate(stripped):
+        for m in RAW_UNIT_PARAM.finditer(line):
+            if has_waiver(raw, i, WAIVERS["raw-units"]):
+                continue
+            out.append(
+                Violation(
+                    path,
+                    i + 1,
+                    "raw-units",
+                    f"raw double parameter '{m.group(1)}' crosses an API; "
+                    "use SimTime/Duration/Mbps/MegaBytes or waive with "
+                    "// vodlint:units-ok(<reason>)",
+                )
+            )
+    return out
+
+
+RAW_THROW = re.compile(r"\bthrow\s+(?:\"|L\"|u8\"|'|[0-9]|true\b|false\b|-)")
+DIRECT_THROW = re.compile(r"\bthrow\s+[A-Za-z_:]")
+
+
+def check_throws(path: str, raw: list[str], stripped: list[str]) -> list[Violation]:
+    norm = path.replace(os.sep, "/")
+    exempt = any(norm.endswith(suffix) for suffix in THROW_EXEMPT)
+    out = []
+    for i, line in enumerate(stripped):
+        if RAW_THROW.search(line):
+            if not has_waiver(raw, i, WAIVERS["raw-throw"]):
+                out.append(
+                    Violation(
+                        path,
+                        i + 1,
+                        "raw-throw",
+                        "throwing a raw value (literal/number) — throw an "
+                        "exception type via the contract.h helpers",
+                    )
+                )
+            continue
+        if exempt:
+            continue
+        if DIRECT_THROW.search(line):
+            if has_waiver(raw, i, WAIVERS["raw-throw"]):
+                continue
+            out.append(
+                Violation(
+                    path,
+                    i + 1,
+                    "raw-throw",
+                    "direct throw outside contract.h; use require()/ensure()/"
+                    "require_found() or fail_require()/fail_ensure()/"
+                    "fail_lookup(), or waive with "
+                    "// vodlint:throw-ok(<reason>)",
+                )
+            )
+    return out
+
+
+CONTRACT_CALL = re.compile(r"\b(require|ensure|require_found)\s*\(")
+EAGER_MESSAGE = re.compile(r"std\s*::\s*to_string\s*\(|\"\s*\+|\+\s*\"|std\s*::\s*string\s*[({]")
+LAZY_LAMBDA = re.compile(r"\[[&=]?\]\s*(?:\(\s*\))?\s*\{")
+
+
+def check_eager_messages(
+    path: str, raw: list[str], stripped: list[str]
+) -> list[Violation]:
+    out = []
+    for i, line in enumerate(stripped):
+        m = CONTRACT_CALL.search(line)
+        if not m:
+            continue
+        stmt = statement_from(stripped, i)
+        if EAGER_MESSAGE.search(stmt) and not LAZY_LAMBDA.search(stmt):
+            if has_waiver(raw, i, WAIVERS["eager-message"]):
+                continue
+            out.append(
+                Violation(
+                    path,
+                    i + 1,
+                    "eager-message",
+                    f"{m.group(1)}() message built eagerly (concatenation/"
+                    "to_string) — it allocates even when the check passes; "
+                    "pass a literal or a lazy lambda, or waive with "
+                    "// vodlint:contract-ok(<reason>)",
+                )
+            )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def gather_files(root: str, paths: list[str]) -> list[str]:
+    files = []
+    for p in paths:
+        full = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(full):
+            files.append(full)
+        elif os.path.isdir(full):
+            for dirpath, _dirnames, filenames in os.walk(full):
+                for name in sorted(filenames):
+                    if name.endswith(CPP_EXTENSIONS):
+                        files.append(os.path.join(dirpath, name))
+        else:
+            print(f"vodlint: no such path: {full}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def lint_sources(sources: dict[str, str]) -> list[Violation]:
+    """Lints {path: text}.  Split out from main() so self-tests can feed
+    synthetic files through the exact production path."""
+    stripped_texts = {p: strip_comments_and_strings(t) for p, t in sources.items()}
+    unordered = collect_unordered_names(stripped_texts)
+    violations: list[Violation] = []
+    for path in sorted(sources):
+        raw_lines = sources[path].splitlines()
+        stripped_lines = stripped_texts[path].splitlines()
+        violations += check_unordered_iteration(
+            path, raw_lines, stripped_lines, unordered
+        )
+        violations += check_entropy(path, raw_lines, stripped_lines)
+        violations += check_raw_units(path, raw_lines, stripped_lines)
+        violations += check_throws(path, raw_lines, stripped_lines)
+        violations += check_eager_messages(path, raw_lines, stripped_lines)
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="vodlint", add_help=True)
+    parser.add_argument("--root", default=None, help="repo root (default: cwd)")
+    parser.add_argument("--self-test", action="store_true")
+    parser.add_argument("paths", nargs="*", default=None)
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.getcwd()
+    paths = args.paths or ["src"]
+    files = gather_files(root, paths)
+    sources = {}
+    for path in files:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            sources[path] = f.read()
+    violations = lint_sources(sources)
+    for v in violations:
+        print(v.render())
+    if violations:
+        print(f"vodlint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"vodlint: {len(files)} file(s) clean")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Self-test fixtures
+# --------------------------------------------------------------------------
+
+FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
+    (
+        "unordered range-for flagged; waiver honoured; membership ops ok",
+        {
+            "src/a.h": (
+                "#include <unordered_map>\n"
+                "struct S {\n"
+                "  std::unordered_map<int, double> flows_;\n"
+                "};\n"
+            ),
+            "src/a.cpp": (
+                "void f(S& s) {\n"
+                "  for (const auto& [id, v] : s.flows_) {}\n"
+                "  // vodlint:ordered-ok(pure max reduction)\n"
+                "  for (const auto& [id, v] : s.flows_) {}\n"
+                "  s.flows_.erase(3);\n"
+                "}\n"
+            ),
+        },
+        [("unordered-iter", 2)],
+    ),
+    (
+        "explicit begin() iteration flagged",
+        {
+            "src/b.h": "#include <unordered_set>\nstd::unordered_set<int> seen_;\n",
+            "src/b.cpp": "auto it = seen_.begin();\n",
+        },
+        [("unordered-iter", 1)],
+    ),
+    (
+        "entropy sources flagged outside rng.h, allowed inside",
+        {
+            "src/c.cpp": (
+                "int x = rand();\n"
+                "auto t = std::chrono::system_clock::now();\n"
+                "double ok = network_.time();\n"  # member call, not ::time()
+            ),
+            "src/common/rng.h": "std::random_device rd;\n",
+        },
+        [("entropy", 1), ("entropy", 2)],
+    ),
+    (
+        "raw unit params flagged in headers only; fields untouched",
+        {
+            "src/d.h": (
+                "void run(double horizon_seconds, int n);\n"
+                "struct Opt { double mttr_seconds = 3.0; };\n"
+                "void go(double cap_mbps);\n"
+            ),
+            "src/d.cpp": "void run(double horizon_seconds, int n) {}\n",
+        },
+        [("raw-units", 1), ("raw-units", 3)],
+    ),
+    (
+        "direct and raw throws flagged; contract.h exempt; rethrow ok",
+        {
+            "src/e.cpp": (
+                'void f() { throw std::invalid_argument("x"); }\n'
+                'void g() { throw "bare"; }\n'
+                "void h() { try { f(); } catch (...) { throw; } }\n"
+            ),
+            "src/common/contract.h": (
+                'inline void req() { throw std::logic_error("m"); }\n'
+            ),
+        },
+        [("raw-throw", 1), ("raw-throw", 2)],
+    ),
+    (
+        "eager contract messages flagged; lambda and literal pass",
+        {
+            "src/f.cpp": (
+                'require(ok, "msg " + std::to_string(n));\n'
+                'require(ok, [&] { return "msg " + std::to_string(n); });\n'
+                'require(ok, "plain literal");\n'
+                "ensure(done,\n"
+                '       "multi" + suffix);\n'
+            ),
+        },
+        [("eager-message", 1), ("eager-message", 4)],
+    ),
+    (
+        "violations inside comments and strings are ignored",
+        {
+            "src/g.cpp": (
+                "// throw 42; rand();\n"
+                '/* for (auto x : flows_) */ const char* s = "rand()";\n'
+            ),
+            "src/g.h": "#include <unordered_map>\nstd::unordered_map<int,int> flows_;\n",
+        },
+        [],
+    ),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, files, expected in FIXTURES:
+        got = [(v.rule, v.line) for v in lint_sources(files)]
+        if got != expected:
+            failures += 1
+            print(f"SELF-TEST FAIL: {name}\n  expected {expected}\n  got      {got}")
+    if failures:
+        print(f"vodlint self-test: {failures} fixture(s) failed", file=sys.stderr)
+        return 1
+    print(f"vodlint self-test: {len(FIXTURES)} fixture(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
