@@ -4,8 +4,9 @@
 #
 # Usage: scripts/ci.sh [--fast]
 #   --fast   static checks + tier-1 tests only (the edit-compile loop tier);
-#            the full run adds the ASan/UBSan suite, the resilience gate and
-#            a TSan pass when the toolchain supports it.
+#            the full run adds the ASan/UBSan suite, the resilience gate,
+#            the fluid-allocator perf gate and a TSan pass when the
+#            toolchain supports it.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +34,11 @@ scripts/check_sanitizers.sh
 
 echo "==== resilience gate ===="
 scripts/check_resilience.sh
+
+echo "==== perf gate (fluid allocator) ===="
+# >=5x reallocation / >=10x SNMP-sweep speedup at 10k flows, bit-identical
+# to the reference filler; emits the machine-readable BENCH_fluid.json.
+build/bench/bench_fluid_alloc --out build/BENCH_fluid.json
 
 # TSan support varies by image (needs libtsan for this compiler); probe
 # before committing to the preset so the gate degrades gracefully.

@@ -18,13 +18,69 @@ void FluidNetwork::set_change_hooks(std::function<void()> pre,
   post_change_hook_ = std::move(post);
 }
 
+bool FluidNetwork::pre_mutation() {
+  if (batch_depth_ == 0) {
+    pre_change();
+    return false;
+  }
+  if (!batch_dirty_) {
+    // First mutation of the epoch: subscribers settle at the old rates
+    // once, however many mutations follow before the epoch closes.
+    batch_dirty_ = true;
+    pre_change();
+  }
+  return true;
+}
+
+void FluidNetwork::commit_mutation() {
+  // Empty-network fast path: with no flows there are no shares to solve,
+  // so a clock move / link flap / final stop_flow skips the residual walk.
+  if (!flows_.empty()) reallocate();
+  post_change();
+}
+
+void FluidNetwork::end_batch() {
+  require(batch_depth_ > 0, "FluidNetwork: unbalanced BatchGuard release");
+  if (--batch_depth_ > 0) return;
+  if (!batch_dirty_) return;
+  batch_dirty_ = false;
+  commit_mutation();
+}
+
 void FluidNetwork::set_time(SimTime t) {
   require(!(t < now_), "FluidNetwork::set_time: time went backward");
   if (t == now_) return;
-  pre_change();
+  const bool deferred = pre_mutation();
   now_ = t;
-  reallocate();
-  post_change();
+  ++bg_gen_;  // the background cache is keyed on (link, now)
+  if (!deferred) commit_mutation();
+}
+
+void FluidNetwork::ensure_index_size() {
+  if (link_flows_.size() < topology_.link_count()) {
+    link_flows_.resize(topology_.link_count());
+  }
+}
+
+void FluidNetwork::index_insert(FlowId id, Flow& flow) {
+  ensure_index_size();
+  for (const LinkId link : flow.links) {
+    // Flow ids are handed out monotonically, so appending keeps each
+    // per-link list sorted ascending by id.
+    link_flows_[link.value()].push_back(IndexEntry{id, &flow});
+  }
+}
+
+void FluidNetwork::index_remove(FlowId id, const Flow& flow) {
+  for (const LinkId link : flow.links) {
+    auto& list = link_flows_[link.value()];
+    const auto it = std::lower_bound(
+        list.begin(), list.end(), id,
+        [](const IndexEntry& e, FlowId needle) { return e.id < needle; });
+    ensure(it != list.end() && it->id == id,
+        "FluidNetwork: incidence index out of sync");
+    list.erase(it);
+  }
 }
 
 FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
@@ -34,20 +90,40 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
     require(topology_.has_link(link),
         "FluidNetwork::start_flow: unknown link in path");
   }
-  pre_change();
+  const bool deferred = pre_mutation();
   const FlowId id{next_flow_++};
-  flows_.emplace(id, Flow{std::move(path), rate_cap, Mbps{0.0}});
-  reallocate();
-  post_change();
+  const auto [it, inserted] =
+      flows_.emplace(id, Flow{std::move(path), {}, rate_cap, Mbps{0.0}});
+  ensure(inserted, "FluidNetwork::start_flow: duplicate flow id");
+  Flow& flow = it->second;
+  flow.links = flow.path;
+  std::sort(flow.links.begin(), flow.links.end());
+  flow.links.erase(std::unique(flow.links.begin(), flow.links.end()),
+                   flow.links.end());
+  index_insert(id, flow);
+  if (!deferred) commit_mutation();
   return id;
 }
 
 void FluidNetwork::stop_flow(FlowId flow) {
-  require_found(flows_.contains(flow), "FluidNetwork::stop_flow: unknown flow");
-  pre_change();
-  flows_.erase(flow);
-  reallocate();
-  post_change();
+  const auto it = flows_.find(flow);
+  require_found(it != flows_.end(), "FluidNetwork::stop_flow: unknown flow");
+  const bool deferred = pre_mutation();
+  index_remove(flow, it->second);
+  flows_.erase(it);
+  if (!deferred) commit_mutation();
+}
+
+void FluidNetwork::set_flow_cap(FlowId flow, Mbps rate_cap) {
+  require(!(rate_cap.value() <= 0.0),
+      "FluidNetwork::set_flow_cap: cap must be positive");
+  const auto it = flows_.find(flow);
+  require_found(it != flows_.end(),
+      "FluidNetwork::set_flow_cap: unknown flow");
+  if (it->second.cap == rate_cap) return;  // no state change
+  const bool deferred = pre_mutation();
+  it->second.cap = rate_cap;
+  if (!deferred) commit_mutation();
 }
 
 Mbps FluidNetwork::flow_rate(FlowId flow) const {
@@ -69,10 +145,9 @@ void FluidNetwork::set_link_up(LinkId link, bool up) {
     link_down_.resize(topology_.link_count(), false);
   }
   if (link_down_[link.value()] == !up) return;  // no state change
-  pre_change();
+  const bool deferred = pre_mutation();
   link_down_[link.value()] = !up;
-  reallocate();
-  post_change();
+  if (!deferred) commit_mutation();
 }
 
 bool FluidNetwork::link_up(LinkId link) const {
@@ -95,20 +170,29 @@ Mbps FluidNetwork::background(LinkId link) const {
   require_found(topology_.has_link(link),
       "FluidNetwork::background: unknown link");
   if (!link_up(link)) return Mbps{0.0};
+  const std::size_t l = link.value();
+  if (bg_cache_.size() <= l) {
+    bg_cache_.resize(topology_.link_count());
+    bg_cache_gen_.resize(topology_.link_count(), 0);
+  }
+  if (bg_cache_gen_[l] == bg_gen_) return bg_cache_[l];
   // Background never exceeds the link's capacity: the trace may carry the
   // paper's raw counters, but physics caps usage at the line rate.
+  ++traffic_query_count_;
   const Mbps raw = traffic_.background_load(link, now_);
-  return std::min(raw, topology_.link(link).capacity);
+  const Mbps clamped = std::min(raw, topology_.link(link).capacity);
+  bg_cache_[l] = clamped;
+  bg_cache_gen_[l] = bg_gen_;
+  return clamped;
 }
 
 Mbps FluidNetwork::used_bandwidth(LinkId link) const {
   Mbps used = background(link);
-  for (const auto& [id, flow] : flows_) {
-    for (const LinkId on_path : flow.path) {
-      if (on_path == link) {
-        used += flow.rate;
-        break;
-      }
+  // Sum in ascending flow-id order — the exact reduction order the naive
+  // all-flows scan used, so the result stays bit-identical to it.
+  if (link.value() < link_flows_.size()) {
+    for (const IndexEntry& entry : link_flows_[link.value()]) {
+      used += entry.flow->rate;
     }
   }
   return std::min(used, topology_.link(link).capacity);
@@ -121,9 +205,170 @@ double FluidNetwork::utilization(LinkId link) const {
 }
 
 void FluidNetwork::reallocate() {
-  // Progressive filling: grow every unfrozen flow's rate uniformly until a
-  // flow hits its cap or a link exhausts its residual capacity; freeze and
-  // repeat.  Produces the max–min fair allocation subject to rate caps.
+  // Progressive filling, driven by the incidence index: grow every
+  // unfrozen flow's rate uniformly until a flow hits its cap or a link
+  // exhausts its residual capacity; freeze and repeat.  Produces the
+  // max–min fair allocation subject to rate caps — bit-identical to
+  // reallocate_reference(), which rediscovers per-link unfrozen counts by
+  // scanning all flows each round where this maintains them as counters
+  // and resolves freeze sets through the per-link flow lists.
+  ++reallocation_count_;
+  ensure_index_size();
+  const std::size_t link_count = topology_.link_count();
+
+  std::vector<double>& residual = scratch_residual_;
+  residual.resize(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    const LinkId link{static_cast<LinkId::underlying_type>(l)};
+    residual[l] =
+        link_up(link)
+            ? std::max(0.0, (topology_.link(link).capacity -
+                             background(link)).value())
+            : 0.0;
+  }
+
+  // Per-link unfrozen-flow counters: every indexed flow starts unfrozen
+  // (local/empty-path flows appear in no list).
+  std::vector<int>& unfrozen_on = scratch_unfrozen_on_;
+  unfrozen_on.resize(link_count);
+  for (std::size_t l = 0; l < link_count; ++l) {
+    unfrozen_on[l] = static_cast<int>(link_flows_[l].size());
+  }
+
+  // Flow-parallel arrays in flows_ (ascending id) order, so fills and cap
+  // minima visit flows exactly as the reference does.
+  std::vector<FlowId>& ids = scratch_ids_;
+  std::vector<Flow*>& flow_of = scratch_flows_;
+  std::vector<double>& rate = scratch_rates_;
+  std::vector<char>& frozen = scratch_frozen_;
+  ids.clear();
+  flow_of.clear();
+  rate.clear();
+  frozen.clear();
+  for (auto& [id, flow] : flows_) {
+    ids.push_back(id);
+    flow_of.push_back(&flow);
+    rate.push_back(0.0);
+    frozen.push_back(0);
+  }
+  const std::size_t flow_count = ids.size();
+  std::size_t unfrozen_total = flow_count;
+
+  // Flows with empty paths are purely local: they get their cap outright.
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    if (flow_of[i]->links.empty()) {
+      rate[i] = flow_of[i]->cap.value();
+      frozen[i] = 1;
+      --unfrozen_total;
+    }
+  }
+
+  std::vector<std::size_t>& unfrozen = scratch_unfrozen_;
+  unfrozen.clear();
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    if (!frozen[i]) unfrozen.push_back(i);
+  }
+
+  const auto freeze = [&](std::size_t i) {
+    frozen[i] = 1;
+    --unfrozen_total;
+    for (const LinkId link : flow_of[i]->links) {
+      --unfrozen_on[link.value()];
+    }
+  };
+  // Index of flow `id` in the parallel arrays (ids is sorted ascending).
+  const auto slot_of = [&](FlowId id) {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    ensure(it != ids.end() && *it == id,
+        "FluidNetwork::reallocate: index entry for unknown flow");
+    return static_cast<std::size_t>(it - ids.begin());
+  };
+
+  constexpr double kEps = 1e-12;
+  while (unfrozen_total > 0) {
+    // Largest uniform increment no constraint can absorb less of.
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < link_count; ++l) {
+      const int n = unfrozen_on[l];
+      if (n > 0) delta = std::min(delta, residual[l] / n);
+    }
+    for (const std::size_t i : unfrozen) {
+      delta = std::min(delta, flow_of[i]->cap.value() - rate[i]);
+    }
+
+    if (delta > 0.0) {
+      for (const std::size_t i : unfrozen) rate[i] += delta;
+      // Links with no unfrozen flows keep their residual bit-for-bit
+      // (subtracting delta * 0 and re-clamping is the identity on the
+      // non-negative values stored here), so they are skipped.
+      for (std::size_t l = 0; l < link_count; ++l) {
+        const int n = unfrozen_on[l];
+        if (n > 0) {
+          residual[l] -= delta * n;
+          residual[l] = std::max(residual[l], 0.0);
+        }
+      }
+    }
+
+    // Freeze flows at their cap, then everyone on exhausted links.  Rates
+    // and residuals are fixed during this pass, so resolving the freeze
+    // set link-by-link through the index matches the reference's
+    // flow-by-flow path scan exactly.
+    bool froze = false;
+    for (const std::size_t i : unfrozen) {
+      if (rate[i] >= flow_of[i]->cap.value() - kEps) {
+        freeze(i);
+        froze = true;
+      }
+    }
+    for (std::size_t l = 0; l < link_count; ++l) {
+      if (unfrozen_on[l] <= 0 || residual[l] > kEps) continue;
+      for (const IndexEntry& entry : link_flows_[l]) {
+        const std::size_t i = slot_of(entry.id);
+        if (!frozen[i]) {
+          freeze(i);
+          froze = true;
+        }
+      }
+    }
+    if (!froze) break;  // nothing limits the remaining flows (shouldn't occur)
+
+    unfrozen.erase(
+        std::remove_if(unfrozen.begin(), unfrozen.end(),
+                       [&](std::size_t i) { return frozen[i] != 0; }),
+        unfrozen.end());
+  }
+
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    // Flows crossing a down link are truly stuck (rate 0); everyone else
+    // gets at least the trickle floor.
+    bool severed = false;
+    for (const LinkId link : flow_of[i]->links) {
+      if (!link_up(link)) severed = true;
+    }
+    flow_of[i]->rate = severed ? Mbps{0.0}
+                               : std::max(Mbps{rate[i]}, kMinFlowRate);
+  }
+
+  if (check_reference_) {
+    const std::vector<std::pair<FlowId, Mbps>> reference =
+        reallocate_reference();
+    ensure(reference.size() == flow_count,
+        "FluidNetwork: reference allocation lost a flow");
+    for (std::size_t i = 0; i < flow_count; ++i) {
+      ensure(reference[i].first == ids[i] &&
+                 reference[i].second.value() == flow_of[i]->rate.value(),
+          "FluidNetwork: indexed allocation diverged from "
+          "reallocate_reference()");
+    }
+  }
+}
+
+std::vector<std::pair<FlowId, Mbps>> FluidNetwork::reallocate_reference()
+    const {
+  // The original from-scratch progressive filler, preserved verbatim as
+  // the oracle the indexed allocator is checked against: per-link unfrozen
+  // counts are recomputed by scanning every flow's path each round.
   std::vector<double> residual(topology_.link_count());
   for (std::size_t l = 0; l < residual.size(); ++l) {
     const LinkId link{static_cast<LinkId::underlying_type>(l)};
@@ -135,14 +380,15 @@ void FluidNetwork::reallocate() {
   }
 
   struct Active {
-    Flow* flow;
+    const Flow* flow;
+    FlowId id;
     double rate = 0.0;
     bool frozen = false;
   };
   std::vector<Active> active;
   active.reserve(flows_.size());
   // flows_ is ordered by id, so `active` is deterministically ordered too.
-  for (auto& [id, flow] : flows_) active.push_back(Active{&flow});
+  for (const auto& [id, flow] : flows_) active.push_back(Active{&flow, id});
 
   // Flows with empty paths are purely local: they get their cap outright.
   for (Active& a : active) {
@@ -152,7 +398,7 @@ void FluidNetwork::reallocate() {
     }
   }
 
-  auto unfrozen_on = [&](std::size_t l) {
+  const auto unfrozen_on = [&](std::size_t l) {
     int count = 0;
     for (const Active& a : active) {
       if (a.frozen) continue;
@@ -213,16 +459,19 @@ void FluidNetwork::reallocate() {
     if (!froze) break;  // nothing limits the remaining flows (shouldn't occur)
   }
 
-  for (Active& a : active) {
+  std::vector<std::pair<FlowId, Mbps>> out;
+  out.reserve(active.size());
+  for (const Active& a : active) {
     // Flows crossing a down link are truly stuck (rate 0); everyone else
     // gets at least the trickle floor.
     bool severed = false;
     for (const LinkId link : a.flow->path) {
       if (!link_up(link)) severed = true;
     }
-    a.flow->rate = severed ? Mbps{0.0}
-                           : std::max(Mbps{a.rate}, kMinFlowRate);
+    out.emplace_back(a.id, severed ? Mbps{0.0}
+                                   : std::max(Mbps{a.rate}, kMinFlowRate));
   }
+  return out;
 }
 
 }  // namespace vod::net

@@ -6,10 +6,21 @@
 // limited by its own rate cap (the title's encoding bitrate or a server's
 // NIC).  This is the standard abstraction for bandwidth-arithmetic studies —
 // and the paper's evaluation is exactly bandwidth arithmetic.
+//
+// Scaling note: the allocator keeps a per-link *flow incidence index*
+// (link -> flows crossing it, ascending by id), so one progressive-filling
+// pass costs O(rounds x (links + active flows) + total incidence) instead of
+// the naive O(rounds x links x flows x path), and per-link queries
+// (used_bandwidth, utilization) walk only the flows on that link.  The
+// naive filler survives as reallocate_reference() — a bit-identical oracle
+// for tests, benches and the optional self-check.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -38,6 +49,11 @@ class FluidNetwork {
   /// Both references must outlive the network.
   FluidNetwork(const Topology& topology, const TrafficModel& traffic);
 
+  // The incidence index stores pointers into flows_, so the network must
+  // stay put once flows exist.
+  FluidNetwork(const FluidNetwork&) = delete;
+  FluidNetwork& operator=(const FluidNetwork&) = delete;
+
   /// `pre` runs before any rate-affecting mutation (old rates still in
   /// force); `post` runs after it (new rates in force).  One subscriber —
   /// the transfer manager — is sufficient for this library.
@@ -64,15 +80,27 @@ class FluidNetwork {
   /// Removes a flow; throws std::out_of_range if unknown.
   void stop_flow(FlowId flow);
 
-  /// Current fair-share rate of a flow (at least kMinFlowRate).
+  /// Changes a flow's rate cap (encoding-bitrate switch, client line
+  /// upgrade); shares are re-solved.  `rate_cap` must be positive; throws
+  /// std::out_of_range if the flow is unknown.
+  void set_flow_cap(FlowId flow, Mbps rate_cap);
+
+  /// Current fair-share rate of a flow (at least kMinFlowRate unless its
+  /// path crosses a down link).  Inside an open allocation epoch (see
+  /// BatchGuard) rates are stale: they reflect the last reallocation, and
+  /// flows started within the epoch read 0 until it closes.
   [[nodiscard]] Mbps flow_rate(FlowId flow) const;
 
   [[nodiscard]] const std::vector<LinkId>& flow_path(FlowId flow) const;
 
-  /// Background-only load on a link at the current time.
+  /// Background-only load on a link at the current time.  Cached per
+  /// (link, instant): the TrafficModel is consulted at most once per link
+  /// between clock movements, however many times the residual builder, the
+  /// SNMP sweep and ad-hoc queries ask.
   [[nodiscard]] Mbps background(LinkId link) const;
 
-  /// Background plus all flow shares crossing the link.
+  /// Background plus all flow shares crossing the link.  An incidence-index
+  /// walk: O(flows on this link), not O(all flows x path length).
   [[nodiscard]] Mbps used_bandwidth(LinkId link) const;
 
   /// used / capacity, clamped to [0, 1].
@@ -90,14 +118,115 @@ class FluidNetwork {
     return traffic_.next_change_after(t);
   }
 
+  // ---- coalesced allocation epochs ----
+
+  /// RAII handle for one allocation epoch: while any guard is alive,
+  /// mutations (start/stop/cap-edit/link-flap/clock moves) update state but
+  /// defer the reallocation; the single pre-change hook fires before the
+  /// epoch's first mutation, and one reallocation plus the post-change hook
+  /// run when the last guard releases.  Callers tearing down or starting
+  /// many flows at one simulated instant (failover storms, completion
+  /// sweeps) pay for one progressive filling instead of one per mutation.
+  ///
+  /// Epochs are meant to stay within one simulated instant: mid-epoch rate
+  /// reads are stale, so nothing that integrates rates over time may span
+  /// an open epoch across a clock movement with active transfers.
+  class [[nodiscard]] BatchGuard {
+   public:
+    BatchGuard() = default;
+    BatchGuard(BatchGuard&& other) noexcept : net_(other.net_) {
+      other.net_ = nullptr;
+    }
+    BatchGuard& operator=(BatchGuard&& other) noexcept {
+      if (this != &other) {
+        release();
+        net_ = other.net_;
+        other.net_ = nullptr;
+      }
+      return *this;
+    }
+    BatchGuard(const BatchGuard&) = delete;
+    BatchGuard& operator=(const BatchGuard&) = delete;
+    ~BatchGuard() { release(); }
+
+    /// Closes the epoch early (idempotent); the destructor calls this.
+    void release() {
+      if (net_ != nullptr) {
+        FluidNetwork* net = net_;
+        net_ = nullptr;
+        net->end_batch();
+      }
+    }
+
+   private:
+    friend class FluidNetwork;
+    explicit BatchGuard(FluidNetwork* net) : net_(net) {}
+    FluidNetwork* net_ = nullptr;
+  };
+
+  /// Opens (or nests into) an allocation epoch.  The guard must not outlive
+  /// the network.
+  BatchGuard defer_reallocate() {
+    ++batch_depth_;
+    return BatchGuard{this};
+  }
+
+  // ---- reference implementation & introspection ----
+
+  /// The original naive progressive filler, kept verbatim as an oracle: a
+  /// from-scratch O(rounds x links x flows x path) solve of the current
+  /// state, returning (flow, rate) ascending by id.  The indexed allocator
+  /// is bit-identical to it by construction; the differential tests and
+  /// bench_fluid_alloc hold it to that.
+  [[nodiscard]] std::vector<std::pair<FlowId, Mbps>> reallocate_reference()
+      const;
+
+  /// Debug flag: when on, every reallocation re-solves with
+  /// reallocate_reference() and requires bitwise-equal rates (throws
+  /// std::logic_error on divergence).  Off by default — it restores the
+  /// naive cost.
+  void set_check_against_reference(bool on) { check_reference_ = on; }
+
+  /// Progressive fillings performed so far (epoch coalescing and the
+  /// empty-network fast path both show up as this not advancing).
+  [[nodiscard]] std::size_t reallocation_count() const {
+    return reallocation_count_;
+  }
+
+  /// TrafficModel::background_load calls actually issued (cache misses);
+  /// with the per-instant cache this is at most one per link per clock
+  /// movement.
+  [[nodiscard]] std::size_t traffic_query_count() const {
+    return traffic_query_count_;
+  }
+
  private:
   struct Flow {
-    std::vector<LinkId> path;
+    std::vector<LinkId> path;   // as given by the caller (may repeat links)
+    std::vector<LinkId> links;  // sorted unique links — the index keys
     Mbps cap;
     Mbps rate;
   };
 
+  /// One incidence-index entry: flows_ map nodes are stable, so the pointer
+  /// stays valid until stop_flow removes the entry.
+  struct IndexEntry {
+    FlowId id;
+    Flow* flow;
+  };
+
   void reallocate();
+  /// Fires the pre-change hook (once per epoch when batched); returns true
+  /// when the mutation is deferred into an open epoch.
+  bool pre_mutation();
+  /// Re-solves shares (skipped when no flows are active) and fires the
+  /// post-change hook.
+  void commit_mutation();
+  void end_batch();
+  void ensure_index_size();
+  void index_insert(FlowId id, Flow& flow);
+  void index_remove(FlowId id, const Flow& flow);
+
   void pre_change() const {
     if (pre_change_hook_) pre_change_hook_();
   }
@@ -114,8 +243,35 @@ class FluidNetwork {
   // sums) visits flows in a platform-independent order — float reductions
   // stay bit-identical across runs and standard libraries.
   std::map<FlowId, Flow> flows_;
+  /// link id -> flows crossing it, ascending by flow id (ids are handed out
+  /// monotonically, so insertion is an append and the per-link sums reduce
+  /// in exactly the order the naive full scan used).
+  std::vector<std::vector<IndexEntry>> link_flows_;
   std::vector<bool> link_down_;  // indexed by link id; default all up
   FlowId::underlying_type next_flow_ = 0;
+
+  int batch_depth_ = 0;
+  bool batch_dirty_ = false;
+  bool check_reference_ = false;
+  std::size_t reallocation_count_ = 0;
+
+  /// Per-instant background cache: value is min(raw trace load, capacity)
+  /// for the *up* link — independent of link state, so flaps need no
+  /// invalidation; clock movements bump the generation instead of clearing.
+  mutable std::vector<Mbps> bg_cache_;
+  mutable std::vector<std::uint64_t> bg_cache_gen_;
+  mutable std::uint64_t bg_gen_ = 1;
+  mutable std::size_t traffic_query_count_ = 0;
+
+  // Scratch buffers reused across reallocations (sized to flows/links) so
+  // steady-state epochs allocate nothing.
+  std::vector<double> scratch_residual_;
+  std::vector<int> scratch_unfrozen_on_;
+  std::vector<FlowId> scratch_ids_;
+  std::vector<Flow*> scratch_flows_;
+  std::vector<double> scratch_rates_;
+  std::vector<char> scratch_frozen_;
+  std::vector<std::size_t> scratch_unfrozen_;
 };
 
 }  // namespace vod::net

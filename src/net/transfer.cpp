@@ -100,6 +100,13 @@ void TransferManager::advance_progress(SimTime now) {
 }
 
 void TransferManager::complete_finished(SimTime now) {
+  // One allocation epoch for the whole sweep: a burst of simultaneous
+  // completions (and whatever transfers the callbacks start) re-solves the
+  // fair shares once when the guard releases, not once per stop_flow.
+  // Completion is judged on settled `remaining`, never on mid-epoch rates,
+  // so the sweep finishes the same transfers the per-mutation solve did;
+  // the caller reschedules after this returns, reading the fresh rates.
+  const FluidNetwork::BatchGuard epoch = network_.defer_reallocate();
   for (;;) {
     FlowId done;
     for (const auto& [id, transfer] : transfers_) {

@@ -50,6 +50,11 @@ class TransferManager {
     return transfers_.size();
   }
 
+  /// The network transfers run over — exposed so callers pairing a cancel
+  /// with a restart (failover) can wrap both in one allocation epoch via
+  /// FluidNetwork::defer_reallocate().
+  [[nodiscard]] FluidNetwork& network() { return network_; }
+
  private:
   struct Transfer {
     MegaBytes remaining;

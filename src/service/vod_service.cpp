@@ -289,6 +289,12 @@ void VodService::notify_sessions(const Predicate& predicate,
     if (!session->active()) continue;
     if (predicate(*session)) affected.push_back(session.get());
   }
+  // One allocation epoch for the whole storm: every failover in the sweep
+  // tears down one flow and starts another, and the fair shares are
+  // re-solved once when the guard releases.  The network mutation that
+  // caused the fault (link cut, if any) happened before this call, so
+  // transfers drained by the fault instant have already completed.
+  const net::FluidNetwork::BatchGuard epoch = network_.defer_reallocate();
   for (stream::Session* session : affected) {
     session->mark_source_fault(sim_.now());
     if (options_.failover.proactive) {

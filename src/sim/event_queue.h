@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -56,6 +55,10 @@ class EventQueue {
   [[nodiscard]] bool empty() const;
   [[nodiscard]] std::size_t pending_count() const;
 
+  /// Raw heap size, cancelled entries included (observability for the
+  /// compaction policy — see cancel()).
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
   /// The time of the most recently fired event (simulation "now").
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -73,12 +76,20 @@ class EventQueue {
   };
 
   void drop_cancelled_head() const;
+  void compact();
 
-  // Cancellation is lazy: a cancelled event stays in the heap until it
-  // reaches the top, where drop_cancelled_head() discards it.  Purging is
-  // logically const (it never changes which events are pending), so the
+  // Cancellation is lazy: a cancelled event usually stays in the heap until
+  // it reaches the top, where drop_cancelled_head() discards it.  When
+  // cancelled entries come to outnumber live ones (long fault storms cancel
+  // whole batches of watchdogs), cancel() compacts: it erases every
+  // cancelled entry and re-heapifies, bounding memory at ~2x the live
+  // events.  Ordering is untouched — (when, sequence) is a total order, so
+  // the heap's firing order is independent of its internal layout.  Purging
+  // is logically const (it never changes which events are pending), so the
   // heap and the cancelled set are mutable and next_time() stays honest.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // The heap is a std::vector managed with the <algorithm> heap primitives
+  // rather than std::priority_queue so compaction can walk and rebuild it.
+  mutable std::vector<Entry> heap_;
   mutable std::unordered_set<std::uint64_t> cancelled_;
   /// Sequences scheduled, not yet fired and not cancelled.  Membership here
   /// is what distinguishes a cancellable event from one that already fired

@@ -32,12 +32,12 @@ void SnmpModule::sample(SimTime now) {
   if (network_.time() < now) network_.set_time(now);
   const net::Topology& topology = network_.topology();
   for (const net::LinkInfo& info : topology.links()) {
+    // One index walk per link: utilization is derived from the same `used`
+    // figure (the exact arithmetic FluidNetwork::utilization performs)
+    // instead of re-summing the link's flows.
     const Mbps used = count_vod_flows_ ? network_.used_bandwidth(info.id)
                                        : network_.background(info.id);
-    const double utilization =
-        count_vod_flows_
-            ? network_.utilization(info.id)
-            : std::clamp(used / info.capacity, 0.0, 1.0);
+    const double utilization = std::clamp(used / info.capacity, 0.0, 1.0);
     view_.update_link_stats(info.id, used, utilization, now);
     view_.set_link_online(info.id, network_.link_up(info.id));
   }

@@ -161,6 +161,9 @@ void Session::on_stall_timeout(std::size_t index, SimTime now) {
   }
   // The cluster is overdue: abandon the transfer and re-select a source.
   // (The flow may already be gone if the source was black-holed.)
+  // One allocation epoch spans the abandon + the retry's replacement flow.
+  const net::FluidNetwork::BatchGuard epoch =
+      transfers_.network().defer_reallocate();
   if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
   inflight_.reset();
   inflight_path_.clear();
@@ -203,6 +206,10 @@ void Session::mark_source_fault(SimTime now) {
 
 void Session::fail_over(const std::string& cause) {
   if (!active() || !inflight_) return;
+  // The teardown of the doomed transfer and the start of its replacement
+  // happen at one instant: solve the fair shares once, when both are in.
+  const net::FluidNetwork::BatchGuard epoch =
+      transfers_.network().defer_reallocate();
   cancel_watchdog();
   if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
   inflight_.reset();

@@ -225,5 +225,41 @@ TEST(EventQueue, RunNextReturnsFalseWhenEmpty) {
   EXPECT_FALSE(queue.run_next());
 }
 
+TEST(EventQueue, HeavyCancellationCompactsHeap) {
+  // Fault storms cancel whole batches of watchdogs; once cancelled entries
+  // outnumber live ones the heap is compacted so memory stays bounded at
+  // ~2x the live events instead of growing with cancellation history.
+  EventQueue queue;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(
+        queue.schedule(SimTime{static_cast<double>(i + 1)}, [](SimTime) {}));
+  }
+  for (int i = 0; i < 999; ++i) queue.cancel(handles[i]);
+  EXPECT_EQ(queue.pending_count(), 1u);
+  EXPECT_LE(queue.heap_size(), 2u);
+}
+
+TEST(EventQueue, CompactionPreservesSameTimeScheduleOrder) {
+  // Regression: compaction rebuilds the heap; same-time events must still
+  // fire in their original scheduling order afterwards.
+  EventQueue queue;
+  std::vector<int> fired;
+  // Ten same-time survivors interleaved with enough doomed events that
+  // cancelling them triggers (several) compactions.
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(SimTime{5.0}, [&fired, i](SimTime) { fired.push_back(i); });
+    for (int j = 0; j < 4; ++j) {
+      doomed.push_back(queue.schedule(SimTime{3.0}, [](SimTime) {}));
+    }
+  }
+  for (const EventHandle handle : doomed) queue.cancel(handle);
+  EXPECT_LE(queue.heap_size(), 20u);  // compaction actually happened
+  while (queue.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
 }  // namespace
 }  // namespace vod::sim

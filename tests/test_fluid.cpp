@@ -168,6 +168,130 @@ TEST(FluidNetwork, FlowPathAccessor) {
   EXPECT_THROW(network.flow_path(FlowId{99}), std::out_of_range);
 }
 
+TEST(FluidNetwork, SetFlowCapResolvesShares) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId small = network.start_flow({line.ab}, Mbps{2.0});
+  const FlowId big = network.start_flow({line.ab}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(big).value(), 8.0, 1e-9);
+  network.set_flow_cap(small, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(small).value(), 5.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(big).value(), 5.0, 1e-9);
+  EXPECT_THROW(network.set_flow_cap(small, Mbps{0.0}), std::invalid_argument);
+  EXPECT_THROW(network.set_flow_cap(FlowId{99}, Mbps{1.0}),
+               std::out_of_range);
+}
+
+TEST(FluidNetwork, RepeatedLinkInPathCountedOnce) {
+  // A path that loops over the same link twice still consumes one share of
+  // it, exactly as the naive filler counted (one `break` per flow per link).
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId loop =
+      network.start_flow({line.ab, line.bc, line.ab}, Mbps{50.0});
+  EXPECT_NEAR(network.flow_rate(loop).value(), 10.0, 1e-9);
+  EXPECT_NEAR(network.used_bandwidth(line.ab).value(), 10.0, 1e-9);
+}
+
+TEST(FluidNetwork, BatchGuardCoalescesReallocations) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId f1 = network.start_flow({line.ab}, Mbps{50.0});
+  const std::size_t before = network.reallocation_count();
+  FlowId f2, f3;
+  {
+    const FluidNetwork::BatchGuard epoch = network.defer_reallocate();
+    f2 = network.start_flow({line.ab}, Mbps{50.0});
+    f3 = network.start_flow({line.ab}, Mbps{50.0});
+    network.stop_flow(f1);
+    // Mid-epoch rates are stale: f2/f3 have never been allocated.
+    EXPECT_EQ(network.flow_rate(f2), Mbps{0.0});
+    EXPECT_EQ(network.reallocation_count(), before);
+  }
+  EXPECT_EQ(network.reallocation_count(), before + 1);
+  EXPECT_NEAR(network.flow_rate(f2).value(), 5.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(f3).value(), 5.0, 1e-9);
+}
+
+TEST(FluidNetwork, NestedBatchGuardsCloseOnce) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const std::size_t before = network.reallocation_count();
+  {
+    const FluidNetwork::BatchGuard outer = network.defer_reallocate();
+    {
+      const FluidNetwork::BatchGuard inner = network.defer_reallocate();
+      network.start_flow({line.ab}, Mbps{5.0});
+    }
+    EXPECT_EQ(network.reallocation_count(), before);  // outer still open
+    network.start_flow({line.bc}, Mbps{5.0});
+  }
+  EXPECT_EQ(network.reallocation_count(), before + 1);
+}
+
+TEST(FluidNetwork, UntouchedEpochReallocatesNothing) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  network.start_flow({line.ab}, Mbps{5.0});
+  const std::size_t before = network.reallocation_count();
+  { const FluidNetwork::BatchGuard epoch = network.defer_reallocate(); }
+  EXPECT_EQ(network.reallocation_count(), before);
+}
+
+TEST(FluidNetwork, EmptyNetworkSkipsReallocation) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const std::size_t before = network.reallocation_count();
+  network.set_time(SimTime{10.0});
+  network.set_link_up(line.ab, false);
+  network.set_link_up(line.ab, true);
+  EXPECT_EQ(network.reallocation_count(), before);
+  const FlowId flow = network.start_flow({line.ab}, Mbps{5.0});
+  EXPECT_EQ(network.reallocation_count(), before + 1);
+  network.stop_flow(flow);
+  // The final stop empties the network; no shares remain to solve.
+  EXPECT_EQ(network.reallocation_count(), before + 1);
+}
+
+TEST(FluidNetwork, BackgroundCachedPerInstant) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.ab, Mbps{2.0});
+  traffic.set_load(line.bc, Mbps{3.0});
+  FluidNetwork network{line.topo, traffic};
+  network.start_flow({line.ab, line.bc}, Mbps{5.0});
+  const std::size_t after_start = network.traffic_query_count();
+  // Re-querying at the same instant — used_bandwidth, utilization, another
+  // reallocation — hits the cache; the model is not consulted again.
+  (void)network.used_bandwidth(line.ab);
+  (void)network.utilization(line.bc);
+  network.start_flow({line.ab}, Mbps{5.0});
+  EXPECT_EQ(network.traffic_query_count(), after_start);
+  // Moving the clock invalidates the cache: one fresh query per link.
+  network.set_time(SimTime{50.0});
+  EXPECT_EQ(network.traffic_query_count(), after_start + 2);
+}
+
+TEST(FluidNetwork, ReferenceCheckAcceptsIndexedAllocator) {
+  Line line;
+  ConstantTraffic traffic;
+  traffic.set_load(line.ab, Mbps{4.0});
+  FluidNetwork network{line.topo, traffic};
+  network.set_check_against_reference(true);
+  const FlowId f1 = network.start_flow({line.ab, line.bc}, Mbps{50.0});
+  network.start_flow({line.ab}, Mbps{2.0});
+  network.set_link_up(line.bc, false);
+  EXPECT_EQ(network.flow_rate(f1), Mbps{0.0});  // severed
+  network.set_link_up(line.bc, true);
+  network.stop_flow(f1);
+}
+
 // --- Max–min fairness properties on random configurations ---
 
 class FluidFairnessProperty : public ::testing::TestWithParam<int> {};

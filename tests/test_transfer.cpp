@@ -218,5 +218,30 @@ TEST(TransferManager, ManySequentialTransfersStayExact) {
   EXPECT_NEAR(sim.now().seconds(), 10.0, 1e-9);
 }
 
+TEST(TransferManager, SimultaneousCompletionsShareOneReallocation) {
+  Fixture fx;
+  FluidNetwork network{fx.topo, fx.no_traffic};
+  sim::Simulation sim;
+  TransferManager manager{sim, network};
+
+  // Four identical transfers on the same link share fairly and all finish
+  // at the same instant; the completion sweep tears down all four flows in
+  // one allocation epoch.
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    manager.start_transfer({fx.ab}, MegaBytes{2.0}, Mbps{100.0},
+                           [&](SimTime) { ++completed; });
+  }
+  const std::size_t before = network.reallocation_count();
+  sim.run();
+  EXPECT_EQ(completed, 4);
+  // One reallocation for the time advance that lands on the completion
+  // instant, one for the whole four-flow teardown sweep (which empties the
+  // network, so the epoch's close itself skips the solve) — not one per
+  // stop_flow.
+  EXPECT_LE(network.reallocation_count() - before, 2u);
+  EXPECT_EQ(network.active_flow_count(), 0u);
+}
+
 }  // namespace
 }  // namespace vod::net

@@ -478,6 +478,30 @@ FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
         [("unordered-iter", 1)],
     ),
     (
+        "incidence-index containers (vector-of-vectors) iterate freely; an "
+        "unordered index of the same shape is still flagged",
+        {
+            "src/h.h": (
+                "#include <unordered_map>\n"
+                "#include <vector>\n"
+                "struct Net {\n"
+                "  std::vector<std::vector<int>> link_flows_;\n"
+                "  std::unordered_map<int, int> flow_slots_;\n"
+                "};\n"
+            ),
+            "src/h.cpp": (
+                "void sweep(Net& n) {\n"
+                "  for (const auto& list : n.link_flows_) {\n"
+                "    for (int id : list) {}\n"
+                "  }\n"
+                "  for (const auto& [id, slot] : n.flow_slots_) {}\n"
+                "  if (n.flow_slots_.count(3) > 0) {}\n"
+                "}\n"
+            ),
+        },
+        [("unordered-iter", 5)],
+    ),
+    (
         "entropy sources flagged outside rng.h, allowed inside",
         {
             "src/c.cpp": (
