@@ -40,10 +40,11 @@ struct RunResult {
 /// west (Patra, Athens, Ioannina) throughout the horizon.
 RunResult run_case(const Intensity& intensity, bool failover,
                    int request_count, double horizon,
-                   double request_spacing) {
+                   double request_spacing, bench::ObsScope& obs) {
   grnet::CaseStudy g = grnet::build_case_study();
   net::NoTraffic traffic;
   sim::Simulation sim;
+  obs.bind_clock([&sim] { return sim.now(); });
   net::FluidNetwork network{g.topology, traffic};
 
   service::ServiceOptions options;
@@ -106,6 +107,7 @@ RunResult run_case(const Intensity& intensity, bool failover,
     const stream::SessionMetrics& m = service.session(id).metrics();
     if (m.failed && m.failure_reason.empty()) result.reasons_ok = false;
   }
+  obs.bind_clock(nullptr);  // the simulation dies with this scope
   return result;
 }
 
@@ -119,6 +121,7 @@ std::string latency_cell(const service::ResilienceReport& report) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsScope obs{argc, argv};
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const int request_count = smoke ? 12 : 60;
   const double horizon = smoke ? 900.0 : 3600.0;
@@ -164,7 +167,7 @@ int main(int argc, char** argv) {
   for (const Intensity& intensity : intensities) {
     for (const bool failover : {false, true}) {
       const RunResult run =
-          run_case(intensity, failover, request_count, horizon, spacing);
+          run_case(intensity, failover, request_count, horizon, spacing, obs);
       const service::ResilienceReport& r = run.report;
       table.add_row({std::to_string(intensity.level),
                      failover ? "failover" : "baseline",

@@ -47,7 +47,8 @@ storage::DiskProfile disk_profile(double capacity_mb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsScope obs{argc, argv};
   bench::heading("Figure 2 behaviour: DMA cache hit rate (Zipf workload)");
   std::cout << kTitles << " titles x " << kTitleSizeMb << " MB, "
             << kRequests << " requests per cell, cluster 50 MB, 8 disks\n\n";

@@ -230,6 +230,10 @@ void write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // With --trace-out the timed sections run with the recorder installed,
+  // so diffing the timing table against an untraced run measures the
+  // tracing overhead at 1k/10k flows (EXPERIMENTS.md quotes it).
+  bench::ObsScope obs{argc, argv};
   std::string out_path = "BENCH_fluid.json";
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--out" && i + 1 < argc) {

@@ -19,7 +19,8 @@
 
 using namespace vod;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsScope obs{argc, argv};
   bench::heading(
       "Table 4: Dijkstra table for Experiment A (8am, client at U2)");
 

@@ -13,7 +13,8 @@
 
 using namespace vod;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsScope obs{argc, argv};
   bench::heading(
       "Table 5: Dijkstra table for Experiment B (10am, client at U2)");
 

@@ -1,12 +1,17 @@
 // Shared scaffolding for the table-regeneration benches.
 #pragma once
 
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 
 #include "db/database.h"
 #include "grnet/grnet.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace vod::bench {
 
@@ -44,5 +49,79 @@ struct CaseDb {
 inline void heading(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
 }
+
+/// Observability plumbing shared by the benches:
+///
+///   --trace-out FILE    record a Chrome trace (Perfetto-loadable) and
+///                       write it to FILE on exit
+///   --metrics-out FILE  write a metrics-snapshot CSV via write_metrics()
+///   --profile           enable the wall-clock profiler; its CSV goes to
+///                       stderr on exit (timings are observe-only, so the
+///                       bench's stdout stays byte-identical either way)
+///
+/// Construct at the top of main(); the destructor flushes the trace and
+/// clears the global sink.  Benches that drive a Simulation should call
+/// bind_clock() so events carry simulated timestamps (the default clock
+/// stamps everything t=0, which is correct for the pure-VRA table benches).
+class ObsScope {
+ public:
+  ObsScope(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--trace-out" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else if (arg == "--metrics-out" && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+      } else if (arg == "--profile") {
+        obs::Profiler::instance().set_enabled(true);
+        profile_ = true;
+      }
+    }
+    if (!trace_path_.empty()) obs::set_trace_sink(&recorder_);
+  }
+
+  ~ObsScope() {
+    if (!trace_path_.empty()) {
+      obs::set_trace_sink(nullptr);
+      std::ofstream out{trace_path_};
+      out << recorder_.to_chrome_json();
+      std::cerr << "trace: " << recorder_.events().size() << " event(s) from "
+                << recorder_.subsystem_count() << " subsystem(s) -> "
+                << trace_path_ << "\n";
+    }
+    if (profile_) {
+      std::cerr << obs::Profiler::instance().report_csv();
+      obs::Profiler::instance().set_enabled(false);
+      obs::Profiler::instance().reset();
+    }
+  }
+
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+
+  /// Wire event timestamps to a simulation clock (or any SimTime source).
+  void bind_clock(std::function<SimTime()> clock) {
+    recorder_.set_clock(std::move(clock));
+  }
+
+  /// Writes the snapshot CSV to --metrics-out (no-op when the flag was not
+  /// given).  Call once, after the run.
+  void write_metrics(const obs::MetricsSnapshot& snapshot) {
+    if (metrics_path_.empty()) return;
+    std::ofstream out{metrics_path_};
+    out << snapshot.to_csv();
+    std::cerr << "metrics: " << snapshot.scalars().size() << " scalar(s) -> "
+              << metrics_path_ << "\n";
+  }
+
+  [[nodiscard]] bool tracing() const { return !trace_path_.empty(); }
+  [[nodiscard]] obs::TraceRecorder& recorder() { return recorder_; }
+
+ private:
+  obs::TraceRecorder recorder_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool profile_ = false;
+};
 
 }  // namespace vod::bench

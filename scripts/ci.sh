@@ -29,6 +29,26 @@ if [[ $fast -eq 1 ]]; then
   exit 0
 fi
 
+echo "==== observability gate ===="
+# A full scripted scenario must produce a schema-valid Chrome trace with
+# events from at least five subsystems.
+build/examples/trace_demo --out build/ci_trace_demo.json \
+  --metrics-out build/ci_trace_demo_metrics.csv >/dev/null
+python3 tools/check_trace.py build/ci_trace_demo.json \
+  --min-subsystems 5 --monotone-ts
+# The paper-parity bench grows --trace-out; its trace must validate too.
+build/bench/bench_table4_experiment_a --trace-out build/ci_table4.json \
+  > build/ci_table4_traced.out 2>/dev/null
+python3 tools/check_trace.py build/ci_table4.json --monotone-ts
+# Tracing must be observe-only: the bench's stdout stays byte-identical
+# with and without it, and two traced runs produce byte-identical traces.
+build/bench/bench_table4_experiment_a > build/ci_table4_plain.out
+cmp build/ci_table4_traced.out build/ci_table4_plain.out
+build/bench/bench_table4_experiment_a --trace-out build/ci_table4_rerun.json \
+  >/dev/null 2>&1
+cmp build/ci_table4.json build/ci_table4_rerun.json
+echo "observability gate passed"
+
 echo "==== sanitizers (ASan + UBSan) ===="
 scripts/check_sanitizers.sh
 

@@ -3,15 +3,30 @@
 // The simulator is deterministic and single-threaded, so logging is a simple
 // global-level filter writing to a configurable stream; benches silence it,
 // examples turn on Info to narrate what the service decides.
+//
+// When a sim-time clock is installed (set_clock), every line is prefixed
+// with the current simulated time — `[12.5s] [info] ...` — so logs line up
+// with trace timestamps.  Without a clock the historical `[info] ...`
+// format is unchanged.
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "common/sim_time.h"
+
 namespace vod {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
 
 /// Global logging configuration; defaults to Warn on stderr.
 class Logger {
@@ -26,8 +41,15 @@ class Logger {
 
   void set_stream(std::ostream* stream) { stream_ = stream; }
 
+  /// Installs a simulated-time source for line prefixes; pass nullptr (or
+  /// an empty function) to restore clockless output.
+  void set_clock(std::function<SimTime()> clock) {
+    clock_ = std::move(clock);
+  }
+
   void write(LogLevel level, const std::string& message) {
     if (level < level_ || stream_ == nullptr) return;
+    if (clock_) *stream_ << '[' << clock_() << "] ";
     *stream_ << '[' << name(level) << "] " << message << '\n';
   }
 
@@ -36,6 +58,8 @@ class Logger {
 
   static const char* name(LogLevel level) {
     switch (level) {
+      case LogLevel::kTrace:
+        return "trace";
       case LogLevel::kDebug:
         return "debug";
       case LogLevel::kInfo:
@@ -52,6 +76,7 @@ class Logger {
 
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* stream_ = &std::cerr;
+  std::function<SimTime()> clock_;
 };
 
 namespace log_detail {
@@ -72,6 +97,7 @@ inline void emit(LogLevel level, const std::ostringstream& os) {
     }                                                                 \
   } while (false)
 
+#define VOD_LOG_TRACE(expr) VOD_LOG_AT(::vod::LogLevel::kTrace, expr)
 #define VOD_LOG_DEBUG(expr) VOD_LOG_AT(::vod::LogLevel::kDebug, expr)
 #define VOD_LOG_INFO(expr) VOD_LOG_AT(::vod::LogLevel::kInfo, expr)
 #define VOD_LOG_WARN(expr) VOD_LOG_AT(::vod::LogLevel::kWarn, expr)

@@ -3,8 +3,24 @@
 #include <stdexcept>
 
 #include "common/contract.h"
+#include "obs/trace.h"
 
 namespace vod::dma {
+
+namespace {
+
+/// One DMA cache-churn instant; `node` labels whose cache this is.
+void trace_dma(const char* name, std::uint32_t node, VideoId video,
+               std::uint64_t points) {
+  obs::TraceRecorder* tr = obs::trace_sink();
+  if (tr == nullptr) return;
+  tr->instant(obs::Subsystem::kDma, name,
+              {{"node", obs::num(static_cast<std::uint64_t>(node))},
+               {"video", obs::num(static_cast<std::uint64_t>(video.value()))},
+               {"points", obs::num(points)}});
+}
+
+}  // namespace
 
 DmaCache::DmaCache(storage::DiskArray& disks, DmaOptions options,
                    DmaCallbacks callbacks)
@@ -32,6 +48,7 @@ bool DmaCache::try_store(VideoId video, MegaBytes size) {
   const auto placement = disks_.store(video, size);
   if (!placement) return false;
   ++stores_;
+  trace_dma("dma.admit", trace_node_, video, points(video));
   if (callbacks_.on_admit) callbacks_.on_admit(video);
   return true;
 }
@@ -39,6 +56,7 @@ bool DmaCache::try_store(VideoId video, MegaBytes size) {
 void DmaCache::evict(VideoId victim) {
   disks_.remove(victim);
   ++evictions_;
+  trace_dma("dma.evict", trace_node_, victim, points(victim));
   if (callbacks_.on_evict) callbacks_.on_evict(victim);
 }
 
@@ -46,6 +64,7 @@ std::vector<VideoId> DmaCache::handle_disk_failure(std::size_t slot) {
   std::vector<VideoId> lost = disks_.fail_disk(slot);
   for (const VideoId video : lost) {
     ++evictions_;
+    trace_dma("dma.lost", trace_node_, video, points(video));
     if (callbacks_.on_evict) callbacks_.on_evict(video);
   }
   return lost;
@@ -60,6 +79,7 @@ DmaOutcome DmaCache::on_request(VideoId video, MegaBytes size) {
   if (cached(video)) {
     ++points_[video];
     ++hits_;
+    trace_dma("dma.hit", trace_node_, video, points_[video]);
     return DmaOutcome::kHit;
   }
 
@@ -68,6 +88,7 @@ DmaOutcome DmaCache::on_request(VideoId video, MegaBytes size) {
   if (options_.admission_threshold > 0) {
     ++points_[video];
     if (points_[video] <= options_.admission_threshold) {
+      trace_dma("dma.point", trace_node_, video, points_[video]);
       return DmaOutcome::kPointedOnly;
     }
     if (disks_.can_tolerate(size) && try_store(video, size)) {
@@ -93,6 +114,7 @@ DmaOutcome DmaCache::on_request(VideoId video, MegaBytes size) {
     }
     if (!options_.multi_evict) break;  // Figure 2: one victim per request
   }
+  trace_dma("dma.point", trace_node_, video, points(video));
   return DmaOutcome::kPointedOnly;
 }
 

@@ -84,6 +84,10 @@ class DmaCache {
   [[nodiscard]] const DmaOptions& options() const { return options_; }
   [[nodiscard]] storage::DiskArray& disks() { return disks_; }
 
+  /// Names this cache's server in trace events (caches have no inherent
+  /// node identity; the service labels each one when wiring the topology).
+  void set_trace_node(std::uint32_t node) { trace_node_ = node; }
+
   // Counters for the benches.
   [[nodiscard]] std::uint64_t hit_count() const { return hits_; }
   [[nodiscard]] std::uint64_t store_count() const { return stores_; }
@@ -97,6 +101,7 @@ class DmaCache {
   storage::DiskArray& disks_;
   DmaOptions options_;
   DmaCallbacks callbacks_;
+  std::uint32_t trace_node_ = 0;
   std::map<VideoId, std::uint64_t> points_;
   std::uint64_t hits_ = 0;
   std::uint64_t stores_ = 0;

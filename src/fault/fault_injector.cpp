@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 
 namespace vod::fault {
 
@@ -138,6 +139,13 @@ void FaultInjector::schedule(SimTime at, FaultRecord record) {
 void FaultInjector::apply(const FaultRecord& record, SimTime now) {
   VOD_LOG_INFO("fault: " << to_string(record.kind) << " target "
                          << record.target << " at " << now.seconds());
+  if (obs::TraceRecorder* tr = obs::trace_sink()) {
+    tr->instant(
+        obs::Subsystem::kFault,
+        std::string{"fault."} + to_string(record.kind),
+        {{"target", obs::num(static_cast<std::uint64_t>(record.target))},
+         {"detail", obs::num(static_cast<std::uint64_t>(record.detail))}});
+  }
   switch (record.kind) {
     case FaultKind::kLinkCut:
       service_.fail_link(LinkId{record.target});

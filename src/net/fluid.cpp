@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/contract.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace vod::net {
 
@@ -213,6 +215,7 @@ void FluidNetwork::reallocate() {
   // scanning all flows each round where this maintains them as counters
   // and resolves freeze sets through the per-link flow lists.
   ++reallocation_count_;
+  VOD_PROFILE_SCOPE("fluid.reallocate");
   ensure_index_size();
   const std::size_t link_count = topology_.link_count();
 
@@ -285,7 +288,9 @@ void FluidNetwork::reallocate() {
   };
 
   constexpr double kEps = 1e-12;
+  std::uint64_t rounds = 0;
   while (unfrozen_total > 0) {
+    ++rounds;
     // Largest uniform increment no constraint can absorb less of.
     double delta = std::numeric_limits<double>::infinity();
     for (std::size_t l = 0; l < link_count; ++l) {
@@ -348,6 +353,14 @@ void FluidNetwork::reallocate() {
     }
     flow_of[i]->rate = severed ? Mbps{0.0}
                                : std::max(Mbps{rate[i]}, kMinFlowRate);
+  }
+
+  if (obs::TraceRecorder* tr = obs::trace_sink()) {
+    tr->instant(obs::Subsystem::kFluid, "fluid.realloc",
+                {{"rounds", obs::num(rounds)},
+                 {"flows", obs::num(static_cast<std::uint64_t>(flow_count))}});
+    tr->counter(obs::Subsystem::kFluid, "fluid.active_flows",
+                static_cast<double>(flow_count));
   }
 
   if (check_reference_) {

@@ -1,0 +1,198 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/contract.h"
+
+namespace vod::obs {
+
+namespace {
+
+/// Whole values print as integers, everything else with ostringstream
+/// default formatting — deterministic either way.
+std::string render(double value) {
+  if (value == std::floor(value) && std::abs(value) < 9e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(value);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string bound_label(double bound) { return render(bound); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    require(upper_bounds_[i - 1] < upper_bounds_[i],
+        "Histogram: bucket bounds must be strictly ascending");
+  }
+}
+
+void Histogram::observe(double value) {
+  std::size_t bucket = upper_bounds_.size();  // +inf by default
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (value <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+}
+
+void MetricsSnapshot::set_counter(const std::string& name,
+                                  std::uint64_t value) {
+  scalars_[name] = Scalar{'c', static_cast<double>(value)};
+}
+
+void MetricsSnapshot::set_gauge(const std::string& name, double value) {
+  scalars_[name] = Scalar{'g', value};
+}
+
+void MetricsSnapshot::set_histogram(const std::string& name,
+                                    HistogramData data) {
+  histograms_[name] = std::move(data);
+}
+
+double MetricsSnapshot::value(const std::string& name) const {
+  const auto it = scalars_.find(name);
+  require_found(it != scalars_.end(),
+      "MetricsSnapshot::value: unknown metric");
+  return it->second.value;
+}
+
+std::uint64_t MetricsSnapshot::value_u64(const std::string& name) const {
+  return static_cast<std::uint64_t>(value(name));
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  std::ostringstream os;
+  os << "name,kind,value\n";
+  for (const auto& [name, scalar] : scalars_) {
+    os << name << ',' << (scalar.kind == 'c' ? "counter" : "gauge") << ','
+       << render(scalar.value) << '\n';
+  }
+  for (const auto& [name, hist] : histograms_) {
+    for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
+      os << name << "[le=" << bound_label(hist.upper_bounds[i])
+         << "],histogram," << hist.bucket_counts[i] << '\n';
+    }
+    os << name << "[le=+inf],histogram,"
+       << hist.bucket_counts[hist.upper_bounds.size()] << '\n';
+    os << name << "[count],histogram," << hist.count << '\n';
+    os << name << "[sum],histogram," << render(hist.sum) << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, scalar] : scalars_) {
+    if (scalar.kind != 'c') continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << render(scalar.value);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, scalar] : scalars_) {
+    if (scalar.kind != 'g') continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":" << render(scalar.value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << name << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
+      if (i != 0) os << ',';
+      os << render(hist.upper_bounds[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      if (i != 0) os << ',';
+      os << hist.bucket_counts[i];
+    }
+    os << "],\"count\":" << hist.count << ",\"sum\":" << render(hist.sum)
+       << '}';
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+void MetricsRegistry::check_name_free(const std::string& name,
+                                      char kind) const {
+  require(kind == 'c' || counters_.find(name) == counters_.end(),
+      "MetricsRegistry: name already registered as a counter");
+  require(kind == 'g' || gauges_.find(name) == gauges_.end(),
+      "MetricsRegistry: name already registered as a gauge");
+  require(kind == 'h' || histograms_.find(name) == histograms_.end(),
+      "MetricsRegistry: name already registered as a histogram");
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  check_name_free(name, 'c');
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  check_name_free(name, 'g');
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    require(it->second.upper_bounds() == upper_bounds,
+        "MetricsRegistry::histogram: bounds differ from registration");
+    return it->second;
+  }
+  check_name_free(name, 'h');
+  return histograms_.emplace(name, Histogram{std::move(upper_bounds)})
+      .first->second;
+}
+
+void MetricsRegistry::add_collector(Collector collector) {
+  collectors_.push_back(std::move(collector));
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.set_counter(name, counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.set_gauge(name, gauge.value());
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.set_histogram(name,
+                       MetricsSnapshot::HistogramData{
+                           hist.upper_bounds(), hist.bucket_counts(),
+                           hist.count(), hist.sum()});
+  }
+  for (const Collector& collector : collectors_) {
+    collector(snap);
+  }
+  return snap;
+}
+
+}  // namespace vod::obs

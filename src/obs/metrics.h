@@ -1,0 +1,150 @@
+// Named metrics: counters, gauges and fixed-bucket histograms.
+//
+// The MetricsRegistry is the one place run-level numbers live.  Components
+// either own registry-backed instruments directly (the service's
+// admitted/rejected/coalesced/retry counters) or are mirrored in at
+// snapshot time by registered collectors (the VRA's cache stats, the SNMP
+// poll count, the fluid allocator's reallocation counters), so
+// ServiceReport and the benches read one source of truth.  Snapshots
+// export as CSV or JSON with deterministic (name-sorted) ordering.
+//
+// Everything here is driven by the deterministic simulation — no clocks,
+// no entropy — so identical runs produce byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vod::obs {
+
+/// Monotonically increasing count (requests served, cache hits, ...).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (active sessions, queue depth, ...).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: counts of observations <= each upper bound,
+/// plus an implicit +inf bucket, total count and sum.  Bounds are fixed at
+/// construction — no dynamic resizing, so identical runs bucket
+/// identically.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly ascending (checked).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return upper_bounds_;
+  }
+  /// Per-bucket counts; size is upper_bounds().size() + 1 (+inf last).
+  [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// A point-in-time copy of every instrument (plus whatever the collectors
+/// contribute), renderable as CSV or JSON.
+class MetricsSnapshot {
+ public:
+  struct Scalar {
+    char kind = 'g';  // 'c' counter, 'g' gauge
+    double value = 0.0;
+  };
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  void set_counter(const std::string& name, std::uint64_t value);
+  void set_gauge(const std::string& name, double value);
+  void set_histogram(const std::string& name, HistogramData data);
+
+  /// Scalar value by name; throws std::out_of_range when absent.
+  [[nodiscard]] double value(const std::string& name) const;
+  [[nodiscard]] std::uint64_t value_u64(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const {
+    return scalars_.contains(name);
+  }
+
+  [[nodiscard]] const std::map<std::string, Scalar>& scalars() const {
+    return scalars_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramData>& histograms()
+      const {
+    return histograms_;
+  }
+
+  /// `name,kind,value` rows, name-sorted; histograms flatten to
+  /// `name[le=B]` bucket rows plus `name[count]` / `name[sum]`.
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Scalar> scalars_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// The registry.  Instruments are created on first use and live as long as
+/// the registry; returned references stay valid (node-stable maps).
+class MetricsRegistry {
+ public:
+  /// A collector runs at snapshot time and contributes derived values —
+  /// the bridge for components that keep their own counters.
+  using Collector = std::function<void(MetricsSnapshot&)>;
+
+  /// Get-or-create; a name registered as one kind cannot be reused as
+  /// another (throws std::logic_error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// On re-get the bounds must match the original registration.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  void add_collector(Collector collector);
+
+  /// Copies every instrument into a snapshot, then runs the collectors
+  /// (which may overwrite or extend).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  void check_name_free(const std::string& name, char kind) const;
+
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace vod::obs

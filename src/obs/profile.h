@@ -1,0 +1,99 @@
+// Wall-clock profiling hooks (scoped RAII timers).
+//
+// DETERMINISM QUARANTINE: this is the only place outside src/common/rng.h
+// where the repo may read a real clock (vodlint's [entropy] rule exempts
+// src/obs/ for exactly this file's benefit).  Timings flow one way — out
+// of the simulation into the profiler's aggregate table — and never into
+// any simulation decision, so runs stay a pure function of their seeds
+// whether profiling is on or off.
+//
+// Gating: VOD_PROFILE_SCOPE sites compile to a single enabled-flag branch
+// (runtime flag, default off); defining VOD_DISABLE_PROFILING compiles
+// them out entirely.
+#pragma once
+
+#include <chrono>  // vodlint:entropy-ok(wall-clock quarantined to src/obs)
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vod::obs {
+
+/// Aggregates per-site call counts and elapsed wall-clock nanoseconds.
+/// Disabled by default; the scoped timers check `enabled()` first so a
+/// cold profiler costs one branch per site.
+class Profiler {
+ public:
+  struct SiteStats {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+  };
+
+  static Profiler& instance();
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(const char* site, std::uint64_t elapsed_ns);
+
+  [[nodiscard]] const std::map<std::string, SiteStats>& sites() const {
+    return sites_;
+  }
+  void reset() { sites_.clear(); }
+
+  /// `site,calls,total_ns,mean_ns` rows, site-sorted.
+  [[nodiscard]] std::string report_csv() const;
+
+ private:
+  Profiler() = default;
+
+  bool enabled_ = false;
+  std::map<std::string, SiteStats> sites_;
+};
+
+/// RAII timer around one profiled scope.  Reads the wall clock only while
+/// the profiler is enabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* site) : site_(site) {
+    if (Profiler::instance().enabled()) {
+      // vodlint:entropy-ok(wall-clock quarantined to src/obs)
+      start_ = std::chrono::steady_clock::now();
+      armed_ = true;
+    }
+  }
+
+  ~ScopedTimer() {
+    if (!armed_) return;
+    // vodlint:entropy-ok(wall-clock quarantined to src/obs)
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().record(
+        site_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* site_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace vod::obs
+
+#ifdef VOD_DISABLE_PROFILING
+#define VOD_PROFILE_SCOPE(site)
+#else
+#define VOD_PROFILE_CONCAT_INNER(a, b) a##b
+#define VOD_PROFILE_CONCAT(a, b) VOD_PROFILE_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `site` when profiling is enabled.
+#define VOD_PROFILE_SCOPE(site)                 \
+  const ::vod::obs::ScopedTimer VOD_PROFILE_CONCAT(vod_profile_scope_, \
+                                                   __LINE__) {         \
+    site                                                               \
+  }
+#endif

@@ -1,0 +1,235 @@
+#include "obs/trace.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+namespace vod::obs {
+
+namespace {
+
+TraceRecorder* g_sink = nullptr;
+
+/// JSON string escaping for names/arg values (control chars, quote,
+/// backslash).
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (const char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u00" << std::hex << (c < 16 ? "0" : "")
+              << static_cast<int>(c);
+          out += hex.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Simulated seconds -> trace microseconds, rendered without a fractional
+/// part when whole (the common case) so the JSON stays tidy and stable.
+std::string to_ts(SimTime at) {
+  const double us = at.seconds() * 1e6;
+  std::ostringstream os;
+  if (us == std::floor(us) && std::abs(us) < 9e15) {
+    os << static_cast<long long>(us);
+  } else {
+    os << us;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* to_string(Subsystem subsystem) {
+  switch (subsystem) {
+    case Subsystem::kSession:
+      return "session";
+    case Subsystem::kVra:
+      return "vra";
+    case Subsystem::kDma:
+      return "dma";
+    case Subsystem::kFluid:
+      return "fluid";
+    case Subsystem::kSnmp:
+      return "snmp";
+    case Subsystem::kFault:
+      return "fault";
+    case Subsystem::kService:
+      return "service";
+    case Subsystem::kSim:
+      return "sim";
+  }
+  return "?";
+}
+
+std::string num(double value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string num(std::uint64_t value) { return std::to_string(value); }
+
+TraceRecorder* trace_sink() { return g_sink; }
+
+void set_trace_sink(TraceRecorder* recorder) { g_sink = recorder; }
+
+TraceRecorder::TraceRecorder(std::size_t max_events)
+    : max_events_(max_events) {}
+
+void TraceRecorder::set_clock(std::function<SimTime()> clock) {
+  clock_ = std::move(clock);
+}
+
+void TraceRecorder::push(TraceEvent event) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::instant(Subsystem subsystem, std::string name,
+                            std::vector<TraceArg> args) {
+  push(TraceEvent{now(), subsystem, 'i', std::move(name), 0, 0.0,
+                  std::move(args)});
+}
+
+void TraceRecorder::counter(Subsystem subsystem, std::string name,
+                            double value) {
+  push(TraceEvent{now(), subsystem, 'C', std::move(name), 0, value, {}});
+}
+
+void TraceRecorder::begin(Subsystem subsystem, std::string name,
+                          std::vector<TraceArg> args) {
+  push(TraceEvent{now(), subsystem, 'B', std::move(name), 0, 0.0,
+                  std::move(args)});
+}
+
+void TraceRecorder::end(Subsystem subsystem, std::string name) {
+  push(TraceEvent{now(), subsystem, 'E', std::move(name), 0, 0.0, {}});
+}
+
+void TraceRecorder::async_begin(Subsystem subsystem, std::string name,
+                                std::uint64_t id,
+                                std::vector<TraceArg> args) {
+  push(TraceEvent{now(), subsystem, 'b', std::move(name), id, 0.0,
+                  std::move(args)});
+}
+
+void TraceRecorder::async_end(Subsystem subsystem, std::string name,
+                              std::uint64_t id) {
+  push(TraceEvent{now(), subsystem, 'e', std::move(name), id, 0.0, {}});
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceRecorder::subsystem_count() const {
+  std::array<bool, kSubsystemCount> seen{};
+  for (const TraceEvent& event : events_) {
+    seen[static_cast<std::size_t>(event.subsystem)] = true;
+  }
+  std::size_t count = 0;
+  for (const bool s : seen) count += s ? 1 : 0;
+  return count;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"vod-sim\"}}";
+  // One named thread track per subsystem that actually produced events,
+  // emitted in enum order so the output is deterministic.
+  std::array<bool, kSubsystemCount> seen{};
+  for (const TraceEvent& event : events_) {
+    seen[static_cast<std::size_t>(event.subsystem)] = true;
+  }
+  for (std::size_t s = 0; s < kSubsystemCount; ++s) {
+    if (!seen[s]) continue;
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << s + 1 << ",\"args\":{\"name\":\""
+       << to_string(static_cast<Subsystem>(s)) << "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    const std::size_t tid = static_cast<std::size_t>(event.subsystem) + 1;
+    os << ",\n{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+       << to_string(event.subsystem) << "\",\"ph\":\"" << event.phase
+       << "\",\"pid\":1,\"tid\":" << tid << ",\"ts\":" << to_ts(event.at);
+    if (event.phase == 'b' || event.phase == 'e') {
+      os << ",\"id\":" << event.id;
+    }
+    if (event.phase == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    if (event.phase == 'C') {
+      os << ",\"args\":{\"value\":" << num(event.value) << "}";
+    } else if (!event.args.empty()) {
+      os << ",\"args\":{";
+      bool first = true;
+      for (const TraceArg& arg : event.args) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(arg.key) << "\":\""
+           << json_escape(arg.value) << "\"";
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "\n]";
+  if (dropped_ != 0) {
+    os << ",\"vodDroppedEvents\":" << dropped_;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string TraceRecorder::to_text() const {
+  std::ostringstream os;
+  for (const TraceEvent& event : events_) {
+    os << "t=" << event.at.seconds() << ' ' << to_string(event.subsystem)
+       << ' ' << event.phase << ' ' << event.name;
+    if (event.phase == 'b' || event.phase == 'e') {
+      os << " id=" << event.id;
+    }
+    if (event.phase == 'C') {
+      os << " value=" << num(event.value);
+    }
+    for (const TraceArg& arg : event.args) {
+      os << ' ' << arg.key << '=' << arg.value;
+    }
+    os << '\n';
+  }
+  if (dropped_ != 0) {
+    os << "# dropped " << dropped_ << " event(s) past the capacity cap\n";
+  }
+  return os.str();
+}
+
+}  // namespace vod::obs

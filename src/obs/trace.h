@@ -1,0 +1,133 @@
+// Structured sim-time event tracing.
+//
+// The TraceRecorder collects timestamped events from every subsystem
+// (session lifecycle, VRA route decisions, DMA cache churn, fluid
+// reallocation epochs, fault injections, SNMP sweeps) and exports them as
+// Chrome trace-event JSON — loadable in Perfetto / about:tracing, with one
+// "thread" track per subsystem — or as a deterministic line-per-event text
+// dump for golden tests and the double-run determinism harness.
+//
+// Determinism contract (DESIGN.md §11): tracing is observe-only.  Call
+// sites first check trace_sink() (a global pointer, null when tracing is
+// off) and only then build event arguments, so a disabled recorder costs
+// one load+branch and an enabled one never feeds anything back into the
+// simulation.  Timestamps come from the recorder's clock callback — always
+// simulated time, never the wall clock (wall-clock profiling lives in
+// obs/profile.h, separately gated).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace vod::obs {
+
+/// The subsystem an event belongs to; each renders as its own thread track
+/// in the Chrome trace (tid = enum value + 1).
+enum class Subsystem {
+  kSession = 0,
+  kVra,
+  kDma,
+  kFluid,
+  kSnmp,
+  kFault,
+  kService,
+  kSim,
+};
+
+inline constexpr std::size_t kSubsystemCount = 8;
+
+const char* to_string(Subsystem subsystem);
+
+/// One key/value event annotation.  Values are pre-rendered strings so the
+/// recorder stores no type zoo; numbers should be formatted by the call
+/// site (deterministically — ostringstream default formatting).
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+/// One recorded event.  `phase` uses the Chrome trace-event phase letters:
+///   'i' instant   'B'/'E' duration begin/end (nest per subsystem track)
+///   'b'/'e' async begin/end (paired by id; sessions use these so
+///           overlapping lifespans need no nesting discipline)
+///   'C' counter (value plotted as a counter track)
+struct TraceEvent {
+  SimTime at{0.0};
+  Subsystem subsystem = Subsystem::kService;
+  char phase = 'i';
+  std::string name;
+  std::uint64_t id = 0;    // async pair id ('b'/'e' only)
+  double value = 0.0;      // counter value ('C' only)
+  std::vector<TraceArg> args;
+};
+
+/// Collects events in memory; export with to_chrome_json() / to_text().
+class TraceRecorder {
+ public:
+  /// `max_events` bounds memory on huge runs: once reached, further events
+  /// are counted (dropped_count) but not stored.  0 = unlimited.
+  explicit TraceRecorder(std::size_t max_events = 0);
+
+  /// Supplies "now" for every recorded event; defaults to SimTime{0}.
+  /// Typically wired to sim.now() by whoever installs the recorder.
+  void set_clock(std::function<SimTime()> clock);
+
+  void instant(Subsystem subsystem, std::string name,
+               std::vector<TraceArg> args = {});
+  void counter(Subsystem subsystem, std::string name, double value);
+  void begin(Subsystem subsystem, std::string name,
+             std::vector<TraceArg> args = {});
+  void end(Subsystem subsystem, std::string name);
+  void async_begin(Subsystem subsystem, std::string name, std::uint64_t id,
+                   std::vector<TraceArg> args = {});
+  void async_end(Subsystem subsystem, std::string name, std::uint64_t id);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped_count() const { return dropped_; }
+  void clear();
+
+  /// Chrome trace-event JSON ("traceEvents" array plus thread-name
+  /// metadata); loads in Perfetto and chrome://tracing.  Timestamps are
+  /// simulated microseconds.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// One line per event: `t=<s> <subsystem> <phase> <name> [k=v ...]` —
+  /// the deterministic dump the golden tests and the double-run harness
+  /// compare byte for byte.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Distinct subsystems with at least one recorded event.
+  [[nodiscard]] std::size_t subsystem_count() const;
+
+ private:
+  void push(TraceEvent event);
+  [[nodiscard]] SimTime now() const {
+    return clock_ ? clock_() : SimTime{0.0};
+  }
+
+  std::function<SimTime()> clock_;
+  std::vector<TraceEvent> events_;
+  std::size_t max_events_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+/// The process-global trace sink consulted by every instrumentation site;
+/// nullptr (the default) disables tracing.  The simulator is
+/// single-threaded, so plain pointers suffice — the installer owns the
+/// recorder and must clear the sink before destroying it.
+[[nodiscard]] TraceRecorder* trace_sink();
+void set_trace_sink(TraceRecorder* recorder);
+
+/// Renders a number the way the text/JSON exporters expect (ostringstream
+/// default formatting — deterministic across runs on one platform).
+std::string num(double value);
+std::string num(std::uint64_t value);
+
+}  // namespace vod::obs

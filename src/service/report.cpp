@@ -10,7 +10,16 @@ namespace vod::service {
 ServiceReport build_report(const VodService& service, Mbps qos_floor) {
   ServiceReport report;
   report.qos_floor = qos_floor;
-  report.vra_cache = service.vra().cache_stats();
+  // The cache counters come through the metrics registry (the collectors
+  // mirror the VRA's stats into the snapshot), so the report and any other
+  // metrics consumer read one source of truth.
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  report.vra_cache.graph_hits = snap.value_u64("vra.graph_hits");
+  report.vra_cache.graph_incremental = snap.value_u64("vra.graph_incremental");
+  report.vra_cache.graph_rebuilds = snap.value_u64("vra.graph_rebuilds");
+  report.vra_cache.edges_rewritten = snap.value_u64("vra.edges_rewritten");
+  report.vra_cache.spt_hits = snap.value_u64("vra.spt_hits");
+  report.vra_cache.spt_misses = snap.value_u64("vra.spt_misses");
   report.vra_cache_enabled = service.vra().cache_enabled();
   for (const SessionId id : service.session_ids()) {
     const stream::Session& session = service.session(id);

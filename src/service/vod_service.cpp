@@ -7,6 +7,7 @@
 
 #include "common/contract.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace vod::service {
 
@@ -41,6 +42,38 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
                                                        *audit_, sim_);
     policy_ = audited_policy_.get();
   }
+  // Components that keep their own counters are mirrored into the registry
+  // at snapshot time, so one snapshot covers the whole service.
+  metrics_.add_collector([this](obs::MetricsSnapshot& snap) {
+    const vra::VraCacheStats& cs = vra_->cache_stats();
+    snap.set_counter("vra.graph_hits", cs.graph_hits);
+    snap.set_counter("vra.graph_incremental", cs.graph_incremental);
+    snap.set_counter("vra.graph_rebuilds", cs.graph_rebuilds);
+    snap.set_counter("vra.edges_rewritten", cs.edges_rewritten);
+    snap.set_counter("vra.spt_hits", cs.spt_hits);
+    snap.set_counter("vra.spt_misses", cs.spt_misses);
+    snap.set_counter("vra.degraded_selections",
+                     vra_->degraded_selection_count());
+    snap.set_counter("snmp.polls", snmp_->poll_count());
+    snap.set_counter("fluid.reallocations", network_.reallocation_count());
+    snap.set_counter("fluid.traffic_queries",
+                     network_.traffic_query_count());
+    snap.set_gauge("fluid.active_flows",
+                   static_cast<double>(network_.active_flow_count()));
+    snap.set_gauge("service.active_sessions",
+                   static_cast<double>(active_sessions_));
+    std::uint64_t hits = 0, stores = 0, evictions = 0, requests = 0;
+    for (const auto& [node, state] : servers_) {
+      hits += state.cache->hit_count();
+      stores += state.cache->store_count();
+      evictions += state.cache->eviction_count();
+      requests += state.cache->request_count();
+    }
+    snap.set_counter("dma.hits", hits);
+    snap.set_counter("dma.stores", stores);
+    snap.set_counter("dma.evictions", evictions);
+    snap.set_counter("dma.requests", requests);
+  });
 }
 
 const DecisionAudit& VodService::audit() const {
@@ -84,6 +117,7 @@ void VodService::register_topology() {
     };
     state.cache = std::make_unique<dma::DmaCache>(
         *state.disks, options_.dma, std::move(callbacks));
+    state.cache->set_trace_node(node.value());
     servers_.emplace(node, std::move(state));
   }
   for (const net::LinkInfo& info : topology_.links()) {
@@ -159,6 +193,13 @@ SessionId VodService::request_at(NodeId home, VideoId video,
   require(info, "request_at: unknown video");
   require(topology_.has_node(home), "request_at: unknown home node");
 
+  if (obs::TraceRecorder* tr = obs::trace_sink()) {
+    tr->instant(
+        obs::Subsystem::kService, "service.request",
+        {{"home", topology_.node_name(home)},
+         {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
+  }
+
   // DMA accounting at the home server: the request counts toward the
   // title's popularity there and may admit (or not) a local copy.
   servers_.at(home).cache->on_request(video, info->size);
@@ -179,6 +220,11 @@ SessionId VodService::request_at(NodeId home, VideoId video,
         leader_session.add_done_callback(std::move(on_done));
         VOD_LOG_DEBUG("service: coalesced request onto session "
                       << leader.value());
+        if (obs::TraceRecorder* tr = obs::trace_sink()) {
+          tr->instant(obs::Subsystem::kService, "service.coalesce",
+                      {{"leader", obs::num(static_cast<std::uint64_t>(
+                           leader.value()))}});
+        }
         return leader;
       }
       batches_.erase(batch);
@@ -201,15 +247,44 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
                                     int retries_left, Duration backoff,
                                     bool register_batch) {
   const SessionId id{next_session_++};
+  // The session-lifecycle metrics observer runs before the user/retry
+  // callback so counters and histograms are settled by the time callers
+  // inspect the service.
+  auto done =
+      wrap_with_retry(id, home, info, std::move(on_done), retries_left,
+                      backoff);
+  auto observed = [this, done = std::move(done)](
+                      const stream::Session& session) {
+    --active_sessions_;
+    const stream::SessionMetrics& m = session.metrics();
+    if (m.failed) {
+      ++sessions_failed_;
+    } else {
+      ++sessions_finished_;
+      startup_delay_hist_.observe(m.startup_delay());
+      if (m.download_completed_at) {
+        download_hist_.observe(*m.download_completed_at - m.requested_at);
+      }
+    }
+    if (obs::TraceRecorder* tr = obs::trace_sink()) {
+      tr->counter(obs::Subsystem::kService, "service.active_sessions",
+                  static_cast<double>(active_sessions_));
+    }
+    if (done) done(session);
+  };
   auto session = std::make_unique<stream::Session>(
       sim_, transfers_, *policy_, info, home, options_.cluster_size,
-      options_.session,
-      wrap_with_retry(id, home, info, std::move(on_done), retries_left,
-                      backoff));
+      options_.session, std::move(observed));
   stream::Session& ref = *session;
+  ref.set_trace_id(id.value());
   sessions_.emplace(id, std::move(session));
   if (register_batch && options_.coalesce_window_seconds > 0.0) {
     batches_[std::make_pair(home, info.id)] = std::make_pair(id, sim_.now());
+  }
+  ++active_sessions_;
+  if (obs::TraceRecorder* tr = obs::trace_sink()) {
+    tr->counter(obs::Subsystem::kService, "service.active_sessions",
+                static_cast<double>(active_sessions_));
   }
   ref.start();
   return id;
@@ -236,6 +311,12 @@ stream::Session::DoneCallback VodService::wrap_with_retry(
     VOD_LOG_INFO("service: session " << id.value() << " failed ("
                                      << session.metrics().failure_reason
                                      << "); retrying in " << backoff);
+    if (obs::TraceRecorder* tr = obs::trace_sink()) {
+      tr->instant(
+          obs::Subsystem::kService, "service.retry",
+          {{"sid", obs::num(static_cast<std::uint64_t>(id.value()))},
+           {"backoff_s", obs::num(backoff.seconds())}});
+    }
     sim_.schedule_in(
         backoff,
         [this, id, home, info, on_done, retries_left,
@@ -267,6 +348,12 @@ VodService::AdmissionOutcome VodService::request_with_admission(
     ++rejected_;
     VOD_LOG_INFO("service: rejected request for " << info->title
                                                   << " (no QoS headroom)");
+    if (obs::TraceRecorder* tr = obs::trace_sink()) {
+      tr->instant(
+          obs::Subsystem::kService, "service.reject",
+          {{"home", topology_.node_name(home)},
+           {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
+    }
     return AdmissionOutcome{Admission::kRejected, std::nullopt};
   }
   ++admitted_;

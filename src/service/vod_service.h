@@ -27,6 +27,7 @@
 #include "net/fluid.h"
 #include "net/topology.h"
 #include "net/transfer.h"
+#include "obs/metrics.h"
 #include "service/admission.h"
 #include "service/audit.h"
 #include "service/ip_directory.h"
@@ -165,10 +166,16 @@ class VodService {
       NodeId home, VideoId video, double headroom = 1.0,
       stream::Session::DoneCallback on_done = {});
 
-  [[nodiscard]] std::size_t admitted_count() const { return admitted_; }
-  [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
+  [[nodiscard]] std::size_t admitted_count() const {
+    return static_cast<std::size_t>(admitted_.value());
+  }
+  [[nodiscard]] std::size_t rejected_count() const {
+    return static_cast<std::size_t>(rejected_.value());
+  }
   /// Requests satisfied by joining an existing stream (coalescing).
-  [[nodiscard]] std::size_t coalesced_count() const { return coalesced_; }
+  [[nodiscard]] std::size_t coalesced_count() const {
+    return static_cast<std::size_t>(coalesced_.value());
+  }
 
   // ---- the administration module (limited access) ----
 
@@ -209,7 +216,7 @@ class VodService {
 
   /// Service-level retries performed so far (FailoverOptions::retry_limit).
   [[nodiscard]] std::size_t service_retry_count() const {
-    return service_retries_;
+    return static_cast<std::size_t>(service_retries_.value());
   }
   /// True when `id` failed and was re-submitted as a new session — its
   /// outcome was superseded by the retry's.
@@ -218,6 +225,22 @@ class VodService {
   }
   /// The retry session spawned for a superseded `id`, if any yet.
   [[nodiscard]] std::optional<SessionId> retried_as(SessionId id) const;
+
+  // ---- observability ----
+
+  /// The service's metrics registry — one source of truth for run-level
+  /// counters.  The service's own counters live here directly; the VRA /
+  /// SNMP / DMA / fluid counters are mirrored in at snapshot time by the
+  /// collectors registered in the constructor.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  /// Point-in-time copy of every metric, collectors included.
+  [[nodiscard]] obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot();
+  }
+  /// Sessions started and not yet finished or failed.
+  [[nodiscard]] std::size_t active_session_count() const {
+    return active_sessions_;
+  }
 
   // ---- accessors ----
 
@@ -279,11 +302,22 @@ class VodService {
   std::map<std::pair<NodeId, VideoId>, std::pair<SessionId, SimTime>>
       batches_;
   SessionId::underlying_type next_session_ = 0;
-  std::size_t admitted_ = 0;
-  std::size_t rejected_ = 0;
-  std::size_t coalesced_ = 0;
+  /// Registry first: the Counter/Histogram references below point into it.
+  obs::MetricsRegistry metrics_;
+  obs::Counter& admitted_ = metrics_.counter("service.admitted");
+  obs::Counter& rejected_ = metrics_.counter("service.rejected");
+  obs::Counter& coalesced_ = metrics_.counter("service.coalesced");
+  obs::Counter& service_retries_ = metrics_.counter("service.retries");
+  obs::Counter& sessions_finished_ =
+      metrics_.counter("service.sessions_finished");
+  obs::Counter& sessions_failed_ =
+      metrics_.counter("service.sessions_failed");
+  obs::Histogram& startup_delay_hist_ = metrics_.histogram(
+      "session.startup_delay_seconds", {1, 2, 5, 10, 30, 60, 120, 300});
+  obs::Histogram& download_hist_ = metrics_.histogram(
+      "session.download_seconds", {60, 300, 600, 1800, 3600, 7200, 14400});
+  std::size_t active_sessions_ = 0;
   std::set<NodeId> crashed_servers_;
-  std::size_t service_retries_ = 0;
   std::set<SessionId> superseded_;
   std::map<SessionId, SessionId> retried_as_;
 };

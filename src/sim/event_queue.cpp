@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/contract.h"
+#include "obs/profile.h"
 
 namespace vod::sim {
 
@@ -53,6 +54,7 @@ std::optional<SimTime> EventQueue::next_time() const {
 }
 
 bool EventQueue::run_next() {
+  VOD_PROFILE_SCOPE("sim.run_next");
   drop_cancelled_head();
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/contract.h"
+#include "obs/trace.h"
 
 namespace vod::snmp {
 
@@ -31,6 +32,12 @@ void SnmpModule::poll_now(SimTime now) { sample(now); }
 void SnmpModule::sample(SimTime now) {
   if (network_.time() < now) network_.set_time(now);
   const net::Topology& topology = network_.topology();
+  obs::TraceRecorder* tr = obs::trace_sink();
+  if (tr != nullptr) {
+    tr->begin(obs::Subsystem::kSnmp, "snmp.sweep",
+              {{"links", obs::num(static_cast<std::uint64_t>(
+                   topology.link_count()))}});
+  }
   for (const net::LinkInfo& info : topology.links()) {
     // One index walk per link: utilization is derived from the same `used`
     // figure (the exact arithmetic FluidNetwork::utilization performs)
@@ -43,6 +50,7 @@ void SnmpModule::sample(SimTime now) {
   }
   ++poll_count_;
   last_poll_at_ = now;
+  if (tr != nullptr) tr->end(obs::Subsystem::kSnmp, "snmp.sweep");
 }
 
 }  // namespace vod::snmp

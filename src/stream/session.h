@@ -183,6 +183,12 @@ class Session {
     return stall_timeout_;
   }
 
+  /// Labels this session's trace events (the async begin/end pair and the
+  /// per-session instants all carry this id).  Set by the service before
+  /// start(); sessions started without one trace as id 0.
+  void set_trace_id(std::uint64_t id) { trace_id_ = id; }
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
   /// Chains another completion callback (after any existing ones) — used
   /// when a coalesced request joins this session.  Throws std::logic_error
   /// if the session already ended.
@@ -232,6 +238,7 @@ class Session {
   int retries_this_cluster_ = 0;
   bool started_ = false;
   bool done_ = false;
+  std::uint64_t trace_id_ = 0;
   SessionMetrics metrics_;
 };
 

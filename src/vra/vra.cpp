@@ -7,6 +7,8 @@
 
 #include "common/contract.h"
 #include "common/log.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "routing/min_hop.h"
 
 namespace vod::vra {
@@ -18,6 +20,40 @@ namespace {
 /// the same network state.  LVN costs are O(0.1..10), so 1e-9 is far below
 /// any real cost difference and far above accumulation noise.
 constexpr double kCostEpsilon = 1e-9;
+
+/// Emits the route-decision trace event: the winner plus up to three
+/// runner-up candidates with their LVN path costs.
+void trace_decision(const net::Topology& topology, NodeId home, VideoId video,
+                    const Decision& decision) {
+  obs::TraceRecorder* tr = obs::trace_sink();
+  if (tr == nullptr) return;
+  std::vector<obs::TraceArg> args;
+  args.push_back({"home", topology.node_name(home)});
+  args.push_back(
+      {"video", obs::num(static_cast<std::uint64_t>(video.value()))});
+  args.push_back({"server", topology.node_name(decision.server)});
+  args.push_back({"cost", obs::num(decision.path.cost)});
+  args.push_back({"local", decision.served_locally ? "1" : "0"});
+  args.push_back({"degraded", decision.degraded ? "1" : "0"});
+  args.push_back({"candidates", obs::num(static_cast<std::uint64_t>(
+                                    decision.candidates.size()))});
+  for (std::size_t i = 1; i < decision.candidates.size() && i <= 3; ++i) {
+    const Candidate& cand = decision.candidates[i];
+    args.push_back({"alt" + std::to_string(i),
+                    topology.node_name(cand.server) + ":" +
+                        obs::num(cand.path.cost)});
+  }
+  tr->instant(obs::Subsystem::kVra, "vra.select", std::move(args));
+}
+
+void trace_no_source(const net::Topology& topology, NodeId home,
+                     VideoId video) {
+  obs::TraceRecorder* tr = obs::trace_sink();
+  if (tr == nullptr) return;
+  tr->instant(obs::Subsystem::kVra, "vra.no_source",
+              {{"home", topology.node_name(home)},
+               {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
+}
 
 }  // namespace
 
@@ -206,6 +242,7 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
                                            bool want_trace) const {
   require(topology_.has_node(home), "Vra::select_server: unknown home node");
   require(catalog_.video(video), "Vra::select_server: unknown video");
+  VOD_PROFILE_SCOPE("vra.select_server");
 
   // "IF the adjacent to the client video server can provide the requested
   //  video THEN authorize the server to start transferring and QUIT."
@@ -216,6 +253,7 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
     decision.path.nodes = {home};
     decision.path.cost = 0.0;
     VOD_LOG_DEBUG("VRA: served locally at " << topology_.node_name(home));
+    trace_decision(topology_, home, video, decision);
     return decision;
   }
 
@@ -224,11 +262,22 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
   std::vector<NodeId> holders = catalog_.servers_with_title(video);
   std::erase_if(holders,
                 [&](NodeId server) { return !can_provide(server, video); });
-  if (holders.empty()) return std::nullopt;
+  if (holders.empty()) {
+    trace_no_source(topology_, home, video);
+    return std::nullopt;
+  }
 
   // Monitor dark: the LVNs describe a network that no longer exists, so
   // fall back to min-hop over the links still believed up.
-  if (degraded_active()) return select_degraded(home, holders);
+  if (degraded_active()) {
+    std::optional<Decision> decision = select_degraded(home, holders);
+    if (decision) {
+      trace_decision(topology_, home, video, *decision);
+    } else {
+      trace_no_source(topology_, home, video);
+    }
+    return decision;
+  }
 
   // "Calculate the Link Validation Number for each network link; run the
   //  Dijkstra's routing algorithm from the client's adjacent server."
@@ -260,7 +309,10 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
       decision.candidates.push_back(Candidate{server, std::move(*path)});
     }
   }
-  if (decision.candidates.empty()) return std::nullopt;  // all disconnected
+  if (decision.candidates.empty()) {  // all disconnected
+    trace_no_source(topology_, home, video);
+    return std::nullopt;
+  }
 
   // "From those alternative least cost paths choose the one with the
   //  smallest cost."  Ties break toward the lower node id so replays are
@@ -294,6 +346,7 @@ std::optional<Decision> Vra::select_server(NodeId home, VideoId video,
   decision.path = decision.candidates.front().path;
   VOD_LOG_DEBUG("VRA: chose " << topology_.node_name(decision.server)
                               << " cost " << decision.path.cost);
+  trace_decision(topology_, home, video, decision);
   return decision;
 }
 

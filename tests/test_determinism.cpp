@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "fault/fault_injector.h"
 #include "grnet/grnet.h"
+#include "obs/trace.h"
 #include "service/report.h"
 #include "service/vod_service.h"
 #include "workload/request_gen.h"
@@ -47,7 +48,10 @@ std::string render_fault_trace(const fault::FaultInjector& injector) {
 
 /// One full simulated day on the GRNET case study: three replicated titles,
 /// a Poisson-diurnal request stream, and (optionally) a seeded fault storm.
-RunDigest run_scenario(std::uint64_t seed, bool with_storm) {
+/// With a recorder the whole run is traced — the observability layer must
+/// be observe-only, so traced and untraced digests have to match.
+RunDigest run_scenario(std::uint64_t seed, bool with_storm,
+                       obs::TraceRecorder* recorder = nullptr) {
   grnet::CaseStudy g = grnet::build_case_study();
   net::DiurnalTraffic traffic{20.0};
   for (const net::LinkInfo& info : g.topology.links()) {
@@ -56,6 +60,10 @@ RunDigest run_scenario(std::uint64_t seed, bool with_storm) {
                                 .peak_fraction = 0.4});
   }
   sim::Simulation sim;
+  if (recorder != nullptr) {
+    recorder->set_clock([&sim] { return sim.now(); });
+    obs::set_trace_sink(recorder);
+  }
   net::FluidNetwork network{g.topology, traffic};
 
   service::ServiceOptions options;
@@ -101,6 +109,7 @@ RunDigest run_scenario(std::uint64_t seed, bool with_storm) {
   }
 
   sim.run_until(from_hours(30.0));  // a day of load plus drain time
+  if (recorder != nullptr) obs::set_trace_sink(nullptr);
 
   return RunDigest{
       .sessions_csv = service::report_sessions_csv(service),
@@ -127,6 +136,22 @@ TEST(Determinism, SeededStormDoubleRunIsByteIdentical) {
   EXPECT_EQ(first.sessions_csv, second.sessions_csv);
   EXPECT_EQ(first.resilience, second.resilience);
   EXPECT_EQ(first.fault_trace, second.fault_trace);
+}
+
+TEST(Determinism, TracingLeavesArtefactsByteIdentical) {
+  const RunDigest plain = run_scenario(11, /*with_storm=*/true);
+  obs::TraceRecorder first;
+  const RunDigest traced = run_scenario(11, /*with_storm=*/true, &first);
+  // Observe-only: the recorder changes nothing the run externalizes.
+  EXPECT_EQ(plain.sessions_csv, traced.sessions_csv);
+  EXPECT_EQ(plain.resilience, traced.resilience);
+  EXPECT_EQ(plain.fault_trace, traced.fault_trace);
+  // And the trace itself is deterministic, in both export formats.
+  obs::TraceRecorder second;
+  (void)run_scenario(11, /*with_storm=*/true, &second);
+  EXPECT_FALSE(first.events().empty());
+  EXPECT_EQ(first.to_text(), second.to_text());
+  EXPECT_EQ(first.to_chrome_json(), second.to_chrome_json());
 }
 
 TEST(Determinism, DifferentSeedsProduceDifferentRuns) {

@@ -17,6 +17,7 @@ class LoggerCapture {
   ~LoggerCapture() {
     Logger::instance().set_stream(&std::cerr);
     Logger::instance().set_level(previous_level_);
+    Logger::instance().set_clock(nullptr);
   }
 
   [[nodiscard]] std::string text() const { return captured_.str(); }
@@ -55,6 +56,28 @@ TEST(Logger, OffSilencesEverything) {
   Logger::instance().set_level(LogLevel::kOff);
   VOD_LOG_ERROR("even errors");
   EXPECT_TRUE(capture.text().empty());
+}
+
+TEST(Logger, TraceSitsBelowDebug) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kDebug);
+  VOD_LOG_TRACE("too chatty");
+  EXPECT_TRUE(capture.text().empty());
+  Logger::instance().set_level(LogLevel::kTrace);
+  VOD_LOG_TRACE("now visible");
+  EXPECT_NE(capture.text().find("[trace] now visible"), std::string::npos);
+}
+
+TEST(Logger, ClockPrefixesLinesWithSimTime) {
+  LoggerCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  Logger::instance().set_clock([] { return SimTime{12.5}; });
+  VOD_LOG_INFO("stamped");
+  EXPECT_NE(capture.text().find("[12.5s] [info] stamped"),
+            std::string::npos);
+  Logger::instance().set_clock(nullptr);
+  VOD_LOG_INFO("bare");
+  EXPECT_NE(capture.text().find("\n[info] bare"), std::string::npos);
 }
 
 TEST(Logger, StreamExpressionNotEvaluatedWhenSuppressed) {

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Minimal schema check for the Chrome trace-event JSON the obs layer emits.
+
+Validates the subset of the trace-event format the TraceRecorder produces
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+
+  * top level is an object with a ``traceEvents`` list;
+  * every event is an object carrying ``ph``, ``pid`` and ``name``;
+  * ``ph`` is one of the phases the recorder emits (M i C B E b e);
+  * non-metadata events carry a numeric, non-negative ``ts`` and a ``tid``;
+  * instants carry ``"s": "t"``; async events carry an ``id``;
+  * counters carry a numeric ``args.value``;
+  * B/E and b/e events balance per (tid, name) / (id, name).
+
+Usage:  check_trace.py TRACE.json [--min-subsystems N] [--monotone-ts]
+
+``--min-subsystems N`` requires events (beyond metadata) on at least N
+distinct tid tracks — the PR-acceptance knob.  ``--monotone-ts`` asserts
+timestamps never go backwards in file order; valid for any single-clock
+run (the recorder appends in simulation order), but not for benches that
+trace several back-to-back simulations into one file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+KNOWN_PHASES = {"M", "i", "C", "B", "E", "b", "e"}
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
+    if not isinstance(trace, dict):
+        fail("top level is not a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        fail("missing traceEvents list")
+    if not events:
+        fail("traceEvents is empty")
+
+    tracks: set[int] = set()
+    duration_stack: dict[tuple[int, str], int] = {}
+    async_open: dict[tuple[int, str], int] = {}
+    last_ts: float | None = None
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        for key in ("ph", "pid", "name"):
+            if key not in event:
+                fail(f"{where} lacks required key {key!r}")
+        phase = event["ph"]
+        if phase not in KNOWN_PHASES:
+            fail(f"{where} has unknown phase {phase!r}")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            fail(f"{where} lacks a numeric non-negative ts")
+        if monotone_ts and last_ts is not None and ts < last_ts:
+            fail(f"{where} ts {ts} goes backwards (previous {last_ts})")
+        last_ts = ts
+        tid = event.get("tid")
+        if not isinstance(tid, int) or isinstance(tid, bool):
+            fail(f"{where} lacks an integer tid")
+        tracks.add(tid)
+        name = event["name"]
+        if phase == "i" and event.get("s") != "t":
+            fail(f"{where} instant lacks scope \"s\": \"t\"")
+        if phase == "C":
+            value = event.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                fail(f"{where} counter lacks numeric args.value")
+        if phase in ("b", "e"):
+            if "id" not in event:
+                fail(f"{where} async event lacks an id")
+            key = (event["id"], name)
+            if phase == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            elif async_open.get(key, 0) <= 0:
+                fail(f"{where} async end without begin: id={key[0]} {name}")
+            else:
+                async_open[key] -= 1
+        if phase in ("B", "E"):
+            key = (tid, name)
+            if phase == "B":
+                duration_stack[key] = duration_stack.get(key, 0) + 1
+            elif duration_stack.get(key, 0) <= 0:
+                fail(f"{where} E without matching B: tid={tid} {name}")
+            else:
+                duration_stack[key] -= 1
+
+    unclosed = sorted(k for k, v in duration_stack.items() if v)
+    if unclosed:
+        fail(f"unbalanced B/E pairs: {unclosed}")
+    dangling = sorted(f"{name}#{id_}" for (id_, name), v in async_open.items()
+                      if v)
+    if dangling:
+        fail(f"unclosed async spans: {dangling}")
+    if len(tracks) < min_subsystems:
+        fail(f"events on only {len(tracks)} subsystem track(s); "
+             f"need >= {min_subsystems}")
+    return (f"{len(events)} event(s) on {len(tracks)} subsystem track(s), "
+            f"schema ok")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--min-subsystems", type=int, default=1,
+                        help="require events on at least N tid tracks")
+    parser.add_argument("--monotone-ts", action="store_true",
+                        help="assert timestamps never decrease in file order")
+    args = parser.parse_args()
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(str(error))
+    print(f"check_trace: {args.trace}: "
+          f"{check(trace, args.min_subsystems, args.monotone_ts)}")
+
+
+if __name__ == "__main__":
+    main()

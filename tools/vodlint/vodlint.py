@@ -19,7 +19,10 @@ keeps module APIs honest:
                     time-of-day reads outside src/common/rng.h.  Every
                     stochastic draw must flow through a seeded vod::Rng and
                     every clock through SimTime.  Waive with
-                    // vodlint:entropy-ok(<reason>).
+                    // vodlint:entropy-ok(<reason>).  src/obs/ is exempt as
+                    a directory: the profiling hooks there read the wall
+                    clock by design, and their timings never flow back into
+                    the simulation (DESIGN.md §11).
 
   [raw-units]       No raw `double` function parameters named *_seconds /
                     *_mbps / *_mb in headers.  Quantities crossing an API
@@ -88,6 +91,10 @@ CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 
 # Files exempt from specific rules (path suffix match, '/'-normalized).
 ENTROPY_EXEMPT = ("src/common/rng.h",)
+# Whole directories exempt from [entropy] (path substring match): the
+# observability layer's wall-clock profiler is quarantined there and is
+# observe-only — timings never feed back into any simulation decision.
+ENTROPY_EXEMPT_DIRS = ("src/obs/",)
 THROW_EXEMPT = ("src/common/contract.h",)
 
 
@@ -258,6 +265,8 @@ ENTROPY_PATTERNS = [
 def check_entropy(path: str, raw: list[str], stripped: list[str]) -> list[Violation]:
     norm = path.replace(os.sep, "/")
     if any(norm.endswith(suffix) for suffix in ENTROPY_EXEMPT):
+        return []
+    if any(fragment in norm for fragment in ENTROPY_EXEMPT_DIRS):
         return []
     out = []
     for i, line in enumerate(stripped):
@@ -512,6 +521,20 @@ FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
             "src/common/rng.h": "std::random_device rd;\n",
         },
         [("entropy", 1), ("entropy", 2)],
+    ),
+    (
+        "entropy exempt in the src/obs/ quarantine directory, flagged "
+        "elsewhere",
+        {
+            "src/obs/profile.h": (
+                "auto t0 = std::chrono::steady_clock::now();\n"
+            ),
+            "src/obs/trace.cpp": "auto t1 = std::chrono::steady_clock::now();\n",
+            "src/stream/session.cpp": (
+                "auto t2 = std::chrono::steady_clock::now();\n"
+            ),
+        },
+        [("entropy", 1)],
     ),
     (
         "raw unit params flagged in headers only; fields untouched",
