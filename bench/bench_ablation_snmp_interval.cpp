@@ -78,7 +78,7 @@ RunResult run(double interval_seconds) {
   RunResult result;
   result.polls = service.snmp().poll_count();
   for (const SessionId id : service.session_ids()) {
-    const stream::SessionMetrics& m = service.session(id).metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     if (!m.finished) continue;
     ++result.finished;
     result.mean_download += *m.download_completed_at - m.requested_at;

@@ -85,7 +85,7 @@ RunResult run(bool with_admission, int request_count) {
 
   result.started = static_cast<int>(ids.size());
   for (const SessionId id : ids) {
-    const stream::SessionMetrics& m = service.session(id).metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     if (!m.finished) continue;
     result.mean_rate_mbps += m.mean_delivered_rate.value();
     if (m.meets_qos_floor(Mbps{1.5})) ++result.qos_ok;

@@ -69,12 +69,12 @@ RunResult run(double window_seconds) {
   result.streams = service.session_ids().size();
   result.coalesced = service.coalesced_count();
   for (const SessionId id : service.session_ids()) {
-    const stream::Session& session = service.session(id);
-    const stream::SessionMetrics& m = session.metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     if (!m.finished) continue;
+    const NodeId home = service.session_home(id);
     // Bytes crossed the backbone only when the source was remote.
     for (const NodeId source : m.cluster_sources) {
-      if (source != session.home()) result.network_mb += 25.0;
+      if (source != home) result.network_mb += 25.0;
     }
   }
   return result;

@@ -104,7 +104,7 @@ RunResult run_case(const Intensity& intensity, bool failover,
   result.report = service::build_resilience_report(service, Mbps{0.0});
   result.faults_applied = injector.trace().size();
   for (const SessionId id : service.session_ids()) {
-    const stream::SessionMetrics& m = service.session(id).metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     if (m.failed && m.failure_reason.empty()) result.reasons_ok = false;
   }
   obs.bind_clock(nullptr);  // the simulation dies with this scope

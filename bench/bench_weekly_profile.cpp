@@ -74,7 +74,7 @@ int main() {
   int rebuffered[6] = {};
   int counts[6] = {};
   for (const auto& [id, hour] : started) {
-    const stream::SessionMetrics& m = service.session(id).metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     if (!m.finished) continue;
     const int band = std::min(5, static_cast<int>(hour / 4.0));
     ++counts[band];

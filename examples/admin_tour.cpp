@@ -70,9 +70,9 @@ int main() {
 
   sim.run_until(grnet::time_of(grnet::TimeOfDay::k6pm));
   std::cout << "\nsession from Patra (during the drain) was served by "
-            << g.city(service.session(s1).metrics().cluster_sources.front())
+            << g.city(service.session_metrics(s1).cluster_sources.front())
             << "\nsession from Heraklio (after the crash) was served by "
-            << g.city(service.session(s2).metrics().cluster_sources.front())
+            << g.city(service.session_metrics(s2).cluster_sources.front())
             << "\n";
 
   std::cout << "\nlast routing decisions (the audit trail):\n"

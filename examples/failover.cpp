@@ -50,8 +50,7 @@ int main() {
   });
   sim.run_until(from_hours(2.0));
 
-  const stream::Session& session = service.session(id);
-  const stream::SessionMetrics& m = session.metrics();
+  const stream::SessionMetrics& m = service.session_metrics(id);
   std::cout << std::fixed << std::setprecision(1);
   for (std::size_t k = 0; k < m.cluster_sources.size(); ++k) {
     std::cout << "  cluster " << k << " from "

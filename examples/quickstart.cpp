@@ -65,10 +65,10 @@ int main() {
   // queue exhaustion.
   sim.run_until(from_hours(1.0));
 
-  const stream::Session& session = service.session(session_id);
-  std::cout << "clusters fetched: " << session.cluster_count()
+  const stream::SessionMetrics& m = service.session_metrics(session_id);
+  std::cout << "clusters fetched: " << m.cluster_sources.size()
             << "; sources:";
-  for (const NodeId source : session.metrics().cluster_sources) {
+  for (const NodeId source : m.cluster_sources) {
     std::cout << " " << topo.node_name(source);
   }
   std::cout << "\n";

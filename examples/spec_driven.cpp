@@ -65,7 +65,7 @@ int main() {
   for (const auto& [label, id] :
        {std::pair{"island/news", island_session},
         std::pair{"port/film", port_session}}) {
-    const stream::SessionMetrics& m = service.session(id).metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     std::cout << label << ": finished=" << std::boolalpha << m.finished
               << " download="
               << (m.download_completed_at ? *m.download_completed_at -

@@ -60,6 +60,12 @@ echo "==== perf gate (fluid allocator) ===="
 # to the reference filler; emits the machine-readable BENCH_fluid.json.
 build/bench/bench_fluid_alloc --out build/BENCH_fluid.json
 
+echo "==== perf gate (session store) ===="
+# >=5x ns/event over the pre-PR never-erased std::map store at 100k
+# concurrent sessions, and flat resident memory across real-service churn
+# waves; emits BENCH_scale.json.
+build/bench/bench_scale --scale-gate --out build/BENCH_scale.json
+
 # TSan support varies by image (needs libtsan for this compiler); probe
 # before committing to the preset so the gate degrades gracefully.
 if echo 'int main(){}' | \

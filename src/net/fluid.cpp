@@ -37,7 +37,29 @@ bool FluidNetwork::pre_mutation() {
 void FluidNetwork::commit_mutation() {
   // Empty-network fast path: with no flows there are no shares to solve,
   // so a clock move / link flap / final stop_flow skips the residual walk.
-  if (!flows_.empty()) reallocate();
+  if (flows_.empty()) {
+    pending_local_.clear();
+    post_change();
+    return;
+  }
+  // All-local fast path: a pathless flow's max-min share is exactly
+  // max(cap, kMinFlowRate) — independent of links, background traffic and
+  // every other flow, and bit-identical to what reallocate() assigns it
+  // (pathless flows are frozen at cap before any filling round).  With no
+  // linked flow active, only the flows touched since the last solve need
+  // their rate stamped.  Disabled under the reference self-check, which
+  // wants every solve to run the full filler.
+  if (linked_flow_count_ == 0 && !check_reference_) {
+    for (const FlowId id : pending_local_) {
+      Flow* flow = flows_.find(id);  // stopped mid-epoch -> skip
+      if (flow != nullptr) flow->rate = std::max(flow->cap, kMinFlowRate);
+    }
+    pending_local_.clear();
+    post_change();
+    return;
+  }
+  reallocate();
+  pending_local_.clear();
   post_change();
 }
 
@@ -64,12 +86,13 @@ void FluidNetwork::ensure_index_size() {
   }
 }
 
-void FluidNetwork::index_insert(FlowId id, Flow& flow) {
+void FluidNetwork::index_insert(FlowId id, std::uint32_t slot,
+                                const Flow& flow) {
   ensure_index_size();
   for (const LinkId link : flow.links) {
     // Flow ids are handed out monotonically, so appending keeps each
     // per-link list sorted ascending by id.
-    link_flows_[link.value()].push_back(IndexEntry{id, &flow});
+    link_flows_[link.value()].push_back(IndexEntry{id, slot});
   }
 }
 
@@ -94,50 +117,55 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
   }
   const bool deferred = pre_mutation();
   const FlowId id{next_flow_++};
-  const auto [it, inserted] =
-      flows_.emplace(id, Flow{std::move(path), {}, rate_cap, Mbps{0.0}});
-  ensure(inserted, "FluidNetwork::start_flow: duplicate flow id");
-  Flow& flow = it->second;
+  Flow& flow = flows_.insert(id, Flow{std::move(path), {}, rate_cap,
+                                      Mbps{0.0}});
   flow.links = flow.path;
   std::sort(flow.links.begin(), flow.links.end());
   flow.links.erase(std::unique(flow.links.begin(), flow.links.end()),
                    flow.links.end());
-  index_insert(id, flow);
+  index_insert(id, flows_.slot_of(id), flow);
+  if (flow.links.empty()) {
+    pending_local_.push_back(id);
+  } else {
+    ++linked_flow_count_;
+  }
   if (!deferred) commit_mutation();
   return id;
 }
 
 void FluidNetwork::stop_flow(FlowId flow) {
-  const auto it = flows_.find(flow);
-  require_found(it != flows_.end(), "FluidNetwork::stop_flow: unknown flow");
+  const Flow* entry = flows_.find(flow);
+  require_found(entry != nullptr, "FluidNetwork::stop_flow: unknown flow");
   const bool deferred = pre_mutation();
-  index_remove(flow, it->second);
-  flows_.erase(it);
+  index_remove(flow, *entry);
+  if (!entry->links.empty()) --linked_flow_count_;
+  flows_.erase(flow);
   if (!deferred) commit_mutation();
 }
 
 void FluidNetwork::set_flow_cap(FlowId flow, Mbps rate_cap) {
   require(!(rate_cap.value() <= 0.0),
       "FluidNetwork::set_flow_cap: cap must be positive");
-  const auto it = flows_.find(flow);
-  require_found(it != flows_.end(),
+  Flow* entry = flows_.find(flow);
+  require_found(entry != nullptr,
       "FluidNetwork::set_flow_cap: unknown flow");
-  if (it->second.cap == rate_cap) return;  // no state change
+  if (entry->cap == rate_cap) return;  // no state change
   const bool deferred = pre_mutation();
-  it->second.cap = rate_cap;
+  entry->cap = rate_cap;
+  if (entry->links.empty()) pending_local_.push_back(flow);
   if (!deferred) commit_mutation();
 }
 
 Mbps FluidNetwork::flow_rate(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  require_found(it != flows_.end(), "FluidNetwork::flow_rate: unknown flow");
-  return it->second.rate;
+  const Flow* entry = flows_.find(flow);
+  require_found(entry != nullptr, "FluidNetwork::flow_rate: unknown flow");
+  return entry->rate;
 }
 
 const std::vector<LinkId>& FluidNetwork::flow_path(FlowId flow) const {
-  const auto it = flows_.find(flow);
-  require_found(it != flows_.end(), "FluidNetwork::flow_path: unknown flow");
-  return it->second.path;
+  const Flow* entry = flows_.find(flow);
+  require_found(entry != nullptr, "FluidNetwork::flow_path: unknown flow");
+  return entry->path;
 }
 
 void FluidNetwork::set_link_up(LinkId link, bool up) {
@@ -194,7 +222,7 @@ Mbps FluidNetwork::used_bandwidth(LinkId link) const {
   // all-flows scan used, so the result stays bit-identical to it.
   if (link.value() < link_flows_.size()) {
     for (const IndexEntry& entry : link_flows_[link.value()]) {
-      used += entry.flow->rate;
+      used += flows_.slot_value(entry.slot).rate;
     }
   }
   return std::min(used, topology_.link(link).capacity);
@@ -248,12 +276,12 @@ void FluidNetwork::reallocate() {
   flow_of.clear();
   rate.clear();
   frozen.clear();
-  for (auto& [id, flow] : flows_) {
+  flows_.for_each_ordered([&](FlowId id, Flow& flow) {
     ids.push_back(id);
     flow_of.push_back(&flow);
     rate.push_back(0.0);
     frozen.push_back(0);
-  }
+  });
   const std::size_t flow_count = ids.size();
   std::size_t unfrozen_total = flow_count;
 
@@ -400,8 +428,11 @@ std::vector<std::pair<FlowId, Mbps>> FluidNetwork::reallocate_reference()
   };
   std::vector<Active> active;
   active.reserve(flows_.size());
-  // flows_ is ordered by id, so `active` is deterministically ordered too.
-  for (const auto& [id, flow] : flows_) active.push_back(Active{&flow, id});
+  // The ordered walk ascends by id, so `active` is deterministically
+  // ordered too.
+  flows_.for_each_ordered([&](FlowId id, const Flow& flow) {
+    active.push_back(Active{&flow, id});
+  });
 
   // Flows with empty paths are purely local: they get their cap outright.
   for (Active& a : active) {

@@ -19,11 +19,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <utility>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/slot_map.h"
 #include "common/sim_time.h"
 #include "common/units.h"
 #include "net/topology.h"
@@ -49,8 +49,7 @@ class FluidNetwork {
   /// Both references must outlive the network.
   FluidNetwork(const Topology& topology, const TrafficModel& traffic);
 
-  // The incidence index stores pointers into flows_, so the network must
-  // stay put once flows exist.
+  // The change hooks and incidence index tie the network to one identity.
   FluidNetwork(const FluidNetwork&) = delete;
   FluidNetwork& operator=(const FluidNetwork&) = delete;
 
@@ -187,8 +186,9 @@ class FluidNetwork {
   /// naive cost.
   void set_check_against_reference(bool on) { check_reference_ = on; }
 
-  /// Progressive fillings performed so far (epoch coalescing and the
-  /// empty-network fast path both show up as this not advancing).
+  /// Progressive fillings performed so far (epoch coalescing, the
+  /// empty-network fast path and the all-local fast path all show up as
+  /// this not advancing).
   [[nodiscard]] std::size_t reallocation_count() const {
     return reallocation_count_;
   }
@@ -208,11 +208,12 @@ class FluidNetwork {
     Mbps rate;
   };
 
-  /// One incidence-index entry: flows_ map nodes are stable, so the pointer
-  /// stays valid until stop_flow removes the entry.
+  /// One incidence-index entry: the slot index is stable for the flow's
+  /// lifetime (SlotMap slots never move), unlike a pointer into a growing
+  /// dense vector would be.
   struct IndexEntry {
     FlowId id;
-    Flow* flow;
+    std::uint32_t slot;
   };
 
   void reallocate();
@@ -224,7 +225,7 @@ class FluidNetwork {
   void commit_mutation();
   void end_batch();
   void ensure_index_size();
-  void index_insert(FlowId id, Flow& flow);
+  void index_insert(FlowId id, std::uint32_t slot, const Flow& flow);
   void index_remove(FlowId id, const Flow& flow);
 
   void pre_change() const {
@@ -239,16 +240,25 @@ class FluidNetwork {
   const Topology& topology_;
   const TrafficModel& traffic_;
   SimTime now_{0.0};
-  // Ordered by FlowId so every iteration (fair-share filling, per-link
-  // sums) visits flows in a platform-independent order — float reductions
-  // stay bit-identical across runs and standard libraries.
-  std::map<FlowId, Flow> flows_;
+  // Dense slot-map store; every iteration (fair-share filling, per-link
+  // sums) uses its ascending-id ordered walk, so float reductions stay
+  // bit-identical across runs and to the old std::map-based code.
+  SlotMap<FlowId, Flow> flows_;
   /// link id -> flows crossing it, ascending by flow id (ids are handed out
   /// monotonically, so insertion is an append and the per-link sums reduce
   /// in exactly the order the naive full scan used).
   std::vector<std::vector<IndexEntry>> link_flows_;
   std::vector<bool> link_down_;  // indexed by link id; default all up
   FlowId::underlying_type next_flow_ = 0;
+  /// Flows whose `links` list is non-empty.  When zero, every active flow
+  /// is purely local and its max-min share is exactly its (floored) cap, so
+  /// commit_mutation stamps the flows touched since the last solve instead
+  /// of running a progressive filling — the all-local fast path that keeps
+  /// large single-site session populations O(1) per mutation.
+  std::size_t linked_flow_count_ = 0;
+  /// Pathless flows started or cap-edited since the last full solve — the
+  /// set the all-local fast path must stamp (stopped ones are skipped).
+  std::vector<FlowId> pending_local_;
 
   int batch_depth_ = 0;
   bool batch_dirty_ = false;

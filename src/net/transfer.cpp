@@ -48,32 +48,33 @@ FlowId TransferManager::start_transfer(std::vector<LinkId> path,
   const BusyScope guard{busy_depth_};
   advance_progress(now);
   const FlowId id = network_.start_flow(std::move(path), rate_cap);
-  transfers_.emplace(id, Transfer{size, std::move(on_complete)});
+  transfers_.insert(id, Transfer{size, std::move(on_complete)});
+  // A transfer born at or below the done epsilon never crosses it during a
+  // settle, so it becomes a completion candidate outright.
+  if (size.value() <= kDoneEpsilonMb) drained_.push_back(id);
   reschedule(now);
   return id;
 }
 
 void TransferManager::cancel(FlowId id) {
-  const auto it = transfers_.find(id);
-  require_found(it != transfers_.end(),
+  require_found(transfers_.contains(id),
       "TransferManager::cancel: unknown transfer");
   const SimTime now = sim_.now();
   const BusyScope guard{busy_depth_};
   advance_progress(now);
-  transfers_.erase(it);
+  transfers_.erase(id);
   network_.stop_flow(id);
   reschedule(now);
 }
 
 MegaBytes TransferManager::remaining(FlowId id) const {
-  const auto it = transfers_.find(id);
-  require_found(it != transfers_.end(),
-      "TransferManager::remaining: unknown transfer");
+  const Transfer& transfer =
+      transfers_.at(id, "TransferManager::remaining: unknown transfer");
   // Report progress as of "now" without mutating state.
   const double elapsed = sim_.now() - last_progress_;
   const double moved_mb =
       network_.flow_rate(id).value() * elapsed / 8.0;
-  return MegaBytes{std::max(0.0, it->second.remaining.value() - moved_mb)};
+  return MegaBytes{std::max(0.0, transfer.remaining.value() - moved_mb)};
 }
 
 Mbps TransferManager::current_rate(FlowId id) const {
@@ -85,11 +86,17 @@ Mbps TransferManager::current_rate(FlowId id) const {
 void TransferManager::settle_bytes(SimTime now) {
   const double elapsed = now - last_progress_;
   if (elapsed > 0.0) {
-    for (auto& [id, transfer] : transfers_) {
+    transfers_.for_each_ordered([&](FlowId id, Transfer& transfer) {
       const double moved_mb = network_.flow_rate(id).value() * elapsed / 8.0;
-      transfer.remaining =
-          MegaBytes{std::max(0.0, transfer.remaining.value() - moved_mb)};
-    }
+      const double before = transfer.remaining.value();
+      transfer.remaining = MegaBytes{std::max(0.0, before - moved_mb)};
+      // Record the crossing once: remaining only ever decreases, so a
+      // transfer enters the candidate list exactly one time.
+      if (before > kDoneEpsilonMb &&
+          transfer.remaining.value() <= kDoneEpsilonMb) {
+        drained_.push_back(id);
+      }
+    });
   }
   last_progress_ = now;
 }
@@ -100,23 +107,43 @@ void TransferManager::advance_progress(SimTime now) {
 }
 
 void TransferManager::complete_finished(SimTime now) {
+  // Only transfers in the drained candidate list can be done: a transfer
+  // enters it when its settled remaining crosses the epsilon (or at birth,
+  // for degenerate sizes), so the sweep costs O(drained), not O(active)
+  // per completion.  Completion is judged on settled `remaining`, never on
+  // mid-epoch rates, so the sweep finishes the same transfers the
+  // per-mutation solve did.
+  if (drained_.empty()) return;
   // One allocation epoch for the whole sweep: a burst of simultaneous
   // completions (and whatever transfers the callbacks start) re-solves the
-  // fair shares once when the guard releases, not once per stop_flow.
-  // Completion is judged on settled `remaining`, never on mid-epoch rates,
-  // so the sweep finishes the same transfers the per-mutation solve did;
-  // the caller reschedules after this returns, reading the fresh rates.
+  // fair shares once when the guard releases, not once per stop_flow; the
+  // caller reschedules after this returns, reading the fresh rates.
   const FluidNetwork::BatchGuard epoch = network_.defer_reallocate();
   for (;;) {
+    // Deterministic pick: lowest flow id among the finished candidates
+    // (entries cancelled since they drained are dead and skipped).
     FlowId done;
-    for (const auto& [id, transfer] : transfers_) {
-      if (transfer.remaining.value() <= kDoneEpsilonMb) {
-        // Deterministic pick: lowest flow id among the finished.
-        if (!done.valid() || id < done) done = id;
+    std::size_t done_at = 0;
+    for (std::size_t i = 0; i < drained_.size(); ++i) {
+      const FlowId id = drained_[i];
+      const Transfer* transfer = transfers_.find(id);
+      if (transfer == nullptr ||
+          transfer->remaining.value() > kDoneEpsilonMb) {
+        continue;
+      }
+      if (!done.valid() || id < done) {
+        done = id;
+        done_at = i;
       }
     }
-    if (!done.valid()) break;
-    CompletionCallback callback = std::move(transfers_.at(done).on_complete);
+    if (!done.valid()) {
+      drained_.clear();
+      break;
+    }
+    drained_.erase(drained_.begin() + static_cast<std::ptrdiff_t>(done_at));
+    CompletionCallback callback =
+        std::move(transfers_.at(done,
+            "TransferManager: drained transfer vanished").on_complete);
     transfers_.erase(done);
     network_.stop_flow(done);
     // The callback may start/cancel transfers; state is consistent here.
@@ -132,11 +159,11 @@ void TransferManager::reschedule(SimTime now) {
   if (transfers_.empty()) return;
 
   double next = std::numeric_limits<double>::infinity();
-  for (const auto& [id, transfer] : transfers_) {
+  transfers_.for_each_ordered([&](FlowId id, Transfer& transfer) {
     const double rate = network_.flow_rate(id).value();
     next = std::min(next,
                     now.seconds() + transfer.remaining.megabits() / rate);
-  }
+  });
   // Wake at background-traffic changes too, so rates stay faithful.
   next = std::min(next, network_.next_traffic_change(now).seconds());
 

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/slot_map.h"
 #include "common/sim_time.h"
 #include "common/units.h"
 #include "net/fluid.h"
@@ -93,10 +93,16 @@ class TransferManager {
 
   sim::Simulation& sim_;
   FluidNetwork& network_;
-  // Ordered by FlowId: settle/complete/reschedule sweeps must visit
-  // transfers in a deterministic order (completion callbacks run in id
-  // order at a tie; float progress sums stay reproducible).
-  std::map<FlowId, Transfer> transfers_;
+  // Dense store; settle/complete/reschedule sweeps use the slot map's
+  // ordered walk so transfers are visited ascending by FlowId (completion
+  // callbacks run in id order at a tie; float progress sums stay
+  // reproducible — the order the old std::map iteration had).
+  SlotMap<FlowId, Transfer> transfers_;
+  /// Completion candidates: transfers whose remaining crossed the done
+  /// epsilon during a settle (or were born at/below it).  complete_finished
+  /// drains this instead of rescanning every transfer per completion;
+  /// entries cancelled in the meantime are skipped by a liveness check.
+  std::vector<FlowId> drained_;
   SimTime last_progress_{0.0};
   sim::EventHandle pending_;
   int busy_depth_ = 0;

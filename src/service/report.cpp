@@ -22,8 +22,7 @@ ServiceReport build_report(const VodService& service, Mbps qos_floor) {
   report.vra_cache.spt_misses = snap.value_u64("vra.spt_misses");
   report.vra_cache_enabled = service.vra().cache_enabled();
   for (const SessionId id : service.session_ids()) {
-    const stream::Session& session = service.session(id);
-    const stream::SessionMetrics& m = session.metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     ++report.sessions;
     report.total_switches += m.server_switches;
     report.total_stall_retries += m.stall_retries;
@@ -39,8 +38,9 @@ ServiceReport build_report(const VodService& service, Mbps qos_floor) {
     ++report.finished;
     report.startup_seconds.add(m.startup_delay());
     report.download_seconds.add(*m.download_completed_at - m.requested_at);
-    const Mbps floor = qos_floor.value() > 0.0 ? qos_floor
-                                               : session.video().bitrate;
+    const Mbps floor = qos_floor.value() > 0.0
+                           ? qos_floor
+                           : service.session_video(id).bitrate;
     if (m.meets_qos_floor(floor)) ++report.qos_ok;
   }
   return report;
@@ -102,8 +102,7 @@ ResilienceReport build_resilience_report(const VodService& service,
   report.service_retries = service.service_retry_count();
   report.degraded_selections = service.vra().degraded_selection_count();
   for (const SessionId id : service.session_ids()) {
-    const stream::Session& session = service.session(id);
-    const stream::SessionMetrics& m = session.metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     ++report.sessions;
     report.proactive_failovers += m.proactive_failovers;
     report.stall_retries += m.stall_retries;
@@ -118,8 +117,9 @@ ResilienceReport build_resilience_report(const VodService& service,
     if (m.finished) {
       ++report.finished;
       if (hit_by_fault) ++report.survived_failover;
-      const Mbps floor = qos_floor.value() > 0.0 ? qos_floor
-                                                 : session.video().bitrate;
+      const Mbps floor = qos_floor.value() > 0.0
+                             ? qos_floor
+                             : service.session_video(id).bitrate;
       if (m.meets_qos_floor(floor)) ++report.qos_ok;
     } else if (m.failed) {
       ++report.failed;
@@ -166,14 +166,13 @@ std::string report_sessions_csv(const VodService& service) {
                  "download_s", "rebuffer_s", "switches", "stall_retries",
                  "mean_rate_mbps"}};
   for (const SessionId id : service.session_ids()) {
-    const stream::Session& session = service.session(id);
-    const stream::SessionMetrics& m = session.metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     const char* outcome =
         m.failed ? "failed" : (m.finished ? "finished" : "in-flight");
     csv.add_row({
         std::to_string(id.value()),
-        service.topology().node_name(session.home()),
-        session.video().title,
+        service.topology().node_name(service.session_home(id)),
+        service.session_video(id).title,
         outcome,
         TextTable::num(m.startup_delay(), 3),
         m.download_completed_at

@@ -212,9 +212,12 @@ SessionId VodService::request_at(NodeId home, VideoId video,
     const auto batch = batches_.find(key);
     if (batch != batches_.end()) {
       const auto& [leader, started] = batch->second;
-      stream::Session& leader_session = *sessions_.at(leader);
-      if (leader_session.active() &&
+      // The leader may already be retired (failed over, finished): such a
+      // batch is dead and must never absorb a new request.
+      auto* leader_slot = sessions_.find(leader);
+      if (leader_slot != nullptr && (*leader_slot)->active() &&
           sim_.now() - started <= options_.coalesce_window_seconds) {
+        stream::Session& leader_session = **leader_slot;
         ++coalesced_;
         // The joiner's completion coincides with the leader's.
         leader_session.add_done_callback(std::move(on_done));
@@ -249,11 +252,12 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
   const SessionId id{next_session_++};
   // The session-lifecycle metrics observer runs before the user/retry
   // callback so counters and histograms are settled by the time callers
-  // inspect the service.
+  // inspect the service; it also retires the session (record + deferred
+  // destruction) first, so the retry wrapper finds a record to annotate.
   auto done =
       wrap_with_retry(id, home, info, std::move(on_done), retries_left,
                       backoff);
-  auto observed = [this, done = std::move(done)](
+  auto observed = [this, id, done = std::move(done)](
                       const stream::Session& session) {
     --active_sessions_;
     const stream::SessionMetrics& m = session.metrics();
@@ -270,16 +274,19 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
       tr->counter(obs::Subsystem::kService, "service.active_sessions",
                   static_cast<double>(active_sessions_));
     }
+    retire_session(id, session);
     if (done) done(session);
   };
-  auto session = std::make_unique<stream::Session>(
-      sim_, transfers_, *policy_, info, home, options_.cluster_size,
-      options_.session, std::move(observed));
+  ObjectPool<stream::Session>::Ptr session =
+      session_pool_.make(sim_, transfers_, *policy_, info, home,
+                         options_.cluster_size, options_.session,
+                         std::move(observed));
   stream::Session& ref = *session;
   ref.set_trace_id(id.value());
-  sessions_.emplace(id, std::move(session));
+  sessions_.insert(id, std::move(session));
   if (register_batch && options_.coalesce_window_seconds > 0.0) {
     batches_[std::make_pair(home, info.id)] = std::make_pair(id, sim_.now());
+    schedule_batch_expiry();
   }
   ++active_sessions_;
   if (obs::TraceRecorder* tr = obs::trace_sink()) {
@@ -302,8 +309,11 @@ stream::Session::DoneCallback VodService::wrap_with_retry(
       return;
     }
     // The request outlives this session: re-submit after the backoff and
-    // hand the user callback to the retry.
-    superseded_.insert(id);
+    // hand the user callback to the retry.  The chain bookkeeping lives on
+    // the session's retired record (created just before this wrapper ran),
+    // so it is pruned together with the records instead of growing in side
+    // maps across retry storms.
+    if (SessionRecord* record = record_of(id)) record->superseded = true;
     ++service_retries_;
     const Duration next_backoff{
         std::min(backoff.seconds() * options_.failover.retry_backoff_factor,
@@ -321,9 +331,12 @@ stream::Session::DoneCallback VodService::wrap_with_retry(
         backoff,
         [this, id, home, info, on_done, retries_left,
          next_backoff](SimTime) {
-          retried_as_.emplace(
-              id, spawn_session(home, info, on_done, retries_left - 1,
-                                next_backoff, /*register_batch=*/false));
+          const SessionId retry =
+              spawn_session(home, info, on_done, retries_left - 1,
+                            next_backoff, /*register_batch=*/false);
+          if (SessionRecord* record = record_of(id)) {
+            record->retried_as = retry;
+          }
         });
   };
 }
@@ -372,10 +385,11 @@ void VodService::notify_sessions(const Predicate& predicate,
   // Collect first: fail_over() can complete or fail a session, whose done
   // callback may submit new requests and grow sessions_ while we iterate.
   std::vector<stream::Session*> affected;
-  for (auto& [id, session] : sessions_) {
-    if (!session->active()) continue;
-    if (predicate(*session)) affected.push_back(session.get());
-  }
+  sessions_.for_each_ordered(
+      [&](SessionId, ObjectPool<stream::Session>::Ptr& session) {
+        if (!session->active()) return;
+        if (predicate(*session)) affected.push_back(session.get());
+      });
   // One allocation epoch for the whole storm: every failover in the sweep
   // tears down one flow and starts another, and the fair shares are
   // re-solved once when the guard releases.  The network mutation that
@@ -447,9 +461,81 @@ void VodService::restore_server(NodeId server) {
 }
 
 std::optional<SessionId> VodService::retried_as(SessionId id) const {
-  const auto it = retried_as_.find(id);
-  if (it == retried_as_.end()) return std::nullopt;
-  return it->second;
+  const SessionRecord* record = record_of(id);
+  if (record == nullptr || !record->retried_as.valid()) return std::nullopt;
+  return record->retried_as;
+}
+
+void VodService::retire_session(SessionId id,
+                                const stream::Session& session) {
+  if (options_.retention == SessionRetention::kSummaries) {
+    if (retired_.size() <= id.value()) {
+      retired_.resize(static_cast<std::size_t>(id.value()) + 1);
+    }
+    retired_[id.value()] =
+        SessionRecord{session.metrics(), session.home(), session.video()};
+  }
+  // Destruction is deferred to a same-instant sweep event: this runs
+  // inside the session's own done-callback stack, where `delete this`
+  // territory begins.  Same-time events fire in scheduling order, so the
+  // sweep runs after the current event finishes, before time advances.
+  retire_queue_.push_back(id);
+  if (!retire_sweep_scheduled_) {
+    retire_sweep_scheduled_ = true;
+    sim_.schedule_at(sim_.now(), [this](SimTime) { sweep_retired(); });
+  }
+}
+
+void VodService::sweep_retired() {
+  retire_sweep_scheduled_ = false;
+  // The queue is drained into a local: a destructor must not invalidate
+  // the iteration if some future session type ever completes others.
+  std::vector<SessionId> queue = std::move(retire_queue_);
+  retire_queue_.clear();
+  for (const SessionId id : queue) {
+    auto* slot = sessions_.find(id);
+    if (slot == nullptr) continue;
+    // A batch led by this session can never absorb another request; drop
+    // it now rather than waiting for a lookup or the expiry sweep.
+    const auto key = std::make_pair((*slot)->home(), (*slot)->video().id);
+    const auto batch = batches_.find(key);
+    if (batch != batches_.end() && batch->second.first == id) {
+      batches_.erase(batch);
+    }
+    sessions_.erase(id);
+  }
+}
+
+SessionRecord* VodService::record_of(SessionId id) {
+  if (!id.valid() || id.value() >= retired_.size()) return nullptr;
+  auto& record = retired_[id.value()];
+  return record ? &*record : nullptr;
+}
+
+const SessionRecord* VodService::record_of(SessionId id) const {
+  if (!id.valid() || id.value() >= retired_.size()) return nullptr;
+  const auto& record = retired_[id.value()];
+  return record ? &*record : nullptr;
+}
+
+void VodService::schedule_batch_expiry() {
+  if (batch_expiry_scheduled_ || batches_.empty()) return;
+  batch_expiry_scheduled_ = true;
+  sim_.schedule_in(
+      Duration{options_.coalesce_window_seconds}, [this](SimTime now) {
+        batch_expiry_scheduled_ = false;
+        for (auto it = batches_.begin(); it != batches_.end();) {
+          // Strictly-older only: an entry exactly one window old is still
+          // joinable by the lookup path (<= window), so it survives to the
+          // next sweep.
+          if (now - it->second.second > options_.coalesce_window_seconds) {
+            it = batches_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        schedule_batch_expiry();  // re-arm while entries remain
+      });
 }
 
 void VodService::set_server_online(NodeId server, bool online) {
@@ -465,21 +551,56 @@ std::vector<VideoId> VodService::fail_disk(NodeId server, std::size_t slot) {
 }
 
 stream::Session& VodService::session(SessionId id) {
-  const auto it = sessions_.find(id);
-  require_found(it != sessions_.end(), "VodService::session: unknown session");
-  return *it->second;
+  auto* slot = sessions_.find(id);
+  require_found(slot != nullptr,
+      "VodService::session: unknown or retired session");
+  return **slot;
 }
 
 const stream::Session& VodService::session(SessionId id) const {
-  const auto it = sessions_.find(id);
-  require_found(it != sessions_.end(), "VodService::session: unknown session");
-  return *it->second;
+  const auto* slot = sessions_.find(id);
+  require_found(slot != nullptr,
+      "VodService::session: unknown or retired session");
+  return **slot;
+}
+
+const stream::SessionMetrics& VodService::session_metrics(
+    SessionId id) const {
+  if (const auto* slot = sessions_.find(id)) return (*slot)->metrics();
+  const SessionRecord* record = record_of(id);
+  require_found(record != nullptr,
+      "VodService::session_metrics: unknown session (or retired without a "
+      "record under kCountersOnly retention)");
+  return record->metrics;
+}
+
+NodeId VodService::session_home(SessionId id) const {
+  if (const auto* slot = sessions_.find(id)) return (*slot)->home();
+  const SessionRecord* record = record_of(id);
+  require_found(record != nullptr,
+      "VodService::session_home: unknown session");
+  return record->home;
+}
+
+const db::VideoInfo& VodService::session_video(SessionId id) const {
+  if (const auto* slot = sessions_.find(id)) return (*slot)->video();
+  const SessionRecord* record = record_of(id);
+  require_found(record != nullptr,
+      "VodService::session_video: unknown session");
+  return record->video;
 }
 
 std::vector<SessionId> VodService::session_ids() const {
   std::vector<SessionId> out;
-  out.reserve(sessions_.size());
-  for (const auto& [id, session] : sessions_) out.push_back(id);
+  out.reserve(sessions_.size() + retired_.size());
+  // Ids are issued sequentially from 0, so one ascending pass over the id
+  // space merges active and retired in order.
+  for (SessionId::underlying_type v = 0; v < next_session_; ++v) {
+    const SessionId id{v};
+    if (sessions_.contains(id) || record_of(id) != nullptr) {
+      out.push_back(id);
+    }
+  }
   return out;
 }
 

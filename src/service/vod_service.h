@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/slot_map.h"
 #include "common/units.h"
 #include "db/database.h"
 #include "dma/dma_cache.h"
@@ -67,6 +68,35 @@ struct FailoverOptions {
   double retry_backoff_max_seconds = 480.0;
 };
 
+/// What the service keeps of a session once it finishes or fails.  Full
+/// Session objects are always retired (destroyed) on completion — memory
+/// for live machinery is O(active sessions) either way; this chooses what
+/// survives them.
+enum class SessionRetention {
+  /// Keep a compact SessionRecord (metrics summary + identity) per retired
+  /// session: post-run reports, per-session assertions and retry-chain
+  /// reconstruction keep working.  Memory is O(total sessions), but a
+  /// record is far smaller than a live Session.
+  kSummaries,
+  /// Keep only the aggregate counters/histograms.  Retired ids vanish from
+  /// session_ids() and per-session accessors throw for them; memory is
+  /// O(active) no matter how many sessions a run churns through — the
+  /// million-session configuration.
+  kCountersOnly,
+};
+
+/// Compact summary of one retired session (SessionRetention::kSummaries).
+struct SessionRecord {
+  stream::SessionMetrics metrics;
+  NodeId home;
+  db::VideoInfo video;
+  /// Retry-chain bookkeeping (FailoverOptions::retry_limit): set when this
+  /// session failed and was re-submitted, superseding its outcome.
+  bool superseded = false;
+  /// The retry session spawned for it (invalid until the backoff fires).
+  SessionId retried_as{};
+};
+
 /// Global service configuration.
 struct ServiceOptions {
   /// The striping/switching unit c (MB) — common to all disks, per paper.
@@ -101,6 +131,8 @@ struct ServiceOptions {
   ServerSetup server{};
   /// ...with optional per-node overrides (heterogeneous deployments).
   std::map<NodeId, ServerSetup> server_overrides{};
+  /// What survives a session's retirement (see SessionRetention).
+  SessionRetention retention = SessionRetention::kSummaries;
 };
 
 /// The running service.
@@ -219,9 +251,11 @@ class VodService {
     return static_cast<std::size_t>(service_retries_.value());
   }
   /// True when `id` failed and was re-submitted as a new session — its
-  /// outcome was superseded by the retry's.
+  /// outcome was superseded by the retry's.  Chain bookkeeping lives on
+  /// the retired records (pruned with them under kCountersOnly).
   [[nodiscard]] bool session_superseded(SessionId id) const {
-    return superseded_.contains(id);
+    const SessionRecord* record = record_of(id);
+    return record != nullptr && record->superseded;
   }
   /// The retry session spawned for a superseded `id`, if any yet.
   [[nodiscard]] std::optional<SessionId> retried_as(SessionId id) const;
@@ -241,12 +275,38 @@ class VodService {
   [[nodiscard]] std::size_t active_session_count() const {
     return active_sessions_;
   }
+  /// Live Session objects resident in the store.  Finished/failed sessions
+  /// are retired (destroyed) by a same-instant sweep, so between events
+  /// this equals active_session_count() — the O(active) memory invariant
+  /// the leak regression test pins down.
+  [[nodiscard]] std::size_t resident_session_count() const {
+    return sessions_.size();
+  }
+  /// Coalescing batches currently open (stale ones are swept one window
+  /// after registration and when their leader retires).
+  [[nodiscard]] std::size_t open_batch_count() const {
+    return batches_.size();
+  }
 
   // ---- accessors ----
 
   [[nodiscard]] const vra::Vra& vra() const { return *vra_; }
+  /// The live Session object — *active sessions only*: once a session
+  /// finishes or fails it is retired to a SessionRecord and this throws
+  /// std::out_of_range.  Post-completion consumers use session_metrics()
+  /// and friends, which serve active and retired sessions alike.
   [[nodiscard]] stream::Session& session(SessionId id);
   [[nodiscard]] const stream::Session& session(SessionId id) const;
+  /// Metrics of an active or retired session; throws std::out_of_range for
+  /// unknown ids (including retired ids under kCountersOnly retention).
+  [[nodiscard]] const stream::SessionMetrics& session_metrics(
+      SessionId id) const;
+  /// Home server of an active or retired session.
+  [[nodiscard]] NodeId session_home(SessionId id) const;
+  /// Catalog entry of the title an active or retired session streamed.
+  [[nodiscard]] const db::VideoInfo& session_video(SessionId id) const;
+  /// Every session known: active plus retired (ascending id).  Under
+  /// kCountersOnly retention, active only.
   [[nodiscard]] std::vector<SessionId> session_ids() const;
   [[nodiscard]] dma::DmaCache& dma_cache(NodeId server);
   [[nodiscard]] db::Database& database() { return db_; }
@@ -281,6 +341,19 @@ class VodService {
   void notify_sessions(const Predicate& predicate, const char* cause,
                        bool black_hole_when_passive);
 
+  /// Called from the done observer (before user callbacks): snapshots the
+  /// session into a SessionRecord (kSummaries) and queues the Session
+  /// object for destruction by a same-instant sweep — a session cannot be
+  /// destroyed while its own completion callback stack is still running.
+  void retire_session(SessionId id, const stream::Session& session);
+  void sweep_retired();
+  /// Record of a retired session, nullptr when unknown or not retained.
+  [[nodiscard]] SessionRecord* record_of(SessionId id);
+  [[nodiscard]] const SessionRecord* record_of(SessionId id) const;
+  /// Re-arming expiry sweep for coalescing batches: entries older than the
+  /// window are dropped even if no later request ever looks them up.
+  void schedule_batch_expiry();
+
   sim::Simulation& sim_;
   const net::Topology& topology_;
   net::FluidNetwork& network_;
@@ -297,8 +370,22 @@ class VodService {
   std::unique_ptr<AuditingPolicy> audited_policy_;
   /// The policy sessions actually use (the VRA policy, possibly audited).
   stream::ServerSelectionPolicy* policy_ = nullptr;
-  std::map<SessionId, std::unique_ptr<stream::Session>> sessions_;
+  /// Pool before store: the store's Ptr deleters return into the pool, so
+  /// it must outlive them (members destroy in reverse declaration order).
+  ObjectPool<stream::Session> session_pool_;
+  /// Dense store of *live* sessions only — finished/failed ones retire to
+  /// `retired_` records and leave this map, keeping it O(active).
+  SlotMap<SessionId, ObjectPool<stream::Session>::Ptr> sessions_;
+  /// Summaries of retired sessions, indexed by id value (kSummaries only;
+  /// never shrinks — it IS the retained history).
+  std::vector<std::optional<SessionRecord>> retired_;
+  /// Sessions completed this instant, awaiting the retirement sweep.
+  std::vector<SessionId> retire_queue_;
+  bool retire_sweep_scheduled_ = false;
+  bool batch_expiry_scheduled_ = false;
   /// Open batches: (home, video) -> (leader session, batch started at).
+  /// Keyed by (node, video) — small and pruned (lookup, leader retirement,
+  /// expiry sweep), so a node-based map is fine here.
   std::map<std::pair<NodeId, VideoId>, std::pair<SessionId, SimTime>>
       batches_;
   SessionId::underlying_type next_session_ = 0;
@@ -318,8 +405,6 @@ class VodService {
       "session.download_seconds", {60, 300, 600, 1800, 3600, 7200, 14400});
   std::size_t active_sessions_ = 0;
   std::set<NodeId> crashed_servers_;
-  std::set<SessionId> superseded_;
-  std::map<SessionId, SessionId> retried_as_;
 };
 
 }  // namespace vod::service

@@ -138,7 +138,7 @@ TEST(ServiceAdmission, AdmitsWhenPathHasHeadroom) {
   EXPECT_EQ(outcome.verdict, VodService::Admission::kAdmitted);
   ASSERT_TRUE(outcome.session.has_value());
   fx.sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(fx.service->session(*outcome.session).metrics().finished);
+  EXPECT_TRUE(fx.service->session_metrics(*outcome.session).finished);
   EXPECT_EQ(fx.service->admitted_count(), 1u);
   EXPECT_EQ(fx.service->rejected_count(), 0u);
 }

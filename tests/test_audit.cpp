@@ -112,8 +112,7 @@ TEST(ServiceAudit, DisabledByDefault) {
   EXPECT_THROW(fx.service->audit(), std::logic_error);
   // Sessions still work without auditing.
   EXPECT_TRUE(fx.service
-                  ->session(fx.service->session_ids().front())
-                  .metrics()
+                  ->session_metrics(fx.service->session_ids().front())
                   .finished);
 }
 

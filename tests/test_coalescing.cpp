@@ -87,7 +87,7 @@ TEST(Coalescing, FinishedLeaderDoesNotAbsorbLateRequests) {
   Fixture fx{3600.0};  // huge window, but the leader finishes first
   const SessionId first = fx.service->request_at(fx.g.patra, fx.movie);
   fx.sim.run_until(from_hours(0.5));
-  ASSERT_TRUE(fx.service->session(first).metrics().finished);
+  ASSERT_TRUE(fx.service->session_metrics(first).finished);
   const SessionId second = fx.service->request_at(fx.g.patra, fx.movie);
   EXPECT_NE(second, first);
   EXPECT_EQ(fx.service->coalesced_count(), 0u);

@@ -127,9 +127,9 @@ TEST(ServiceDiskFailure, VraFailsOverToSurvivingReplica) {
 
   const SessionId id = service.request_at(g.patra, movie);
   sim.run_until(from_hours(1.0));
-  const stream::Session& session = service.session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  for (const NodeId source : session.metrics().cluster_sources) {
+  const stream::SessionMetrics& m = service.session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  for (const NodeId source : m.cluster_sources) {
     EXPECT_EQ(source, g.xanthi);
   }
 }

@@ -465,9 +465,9 @@ TEST(ServiceFailover, LinkFailureMidStreamIsSurvived) {
   });
   sim.run_until(from_hours(2.0));
 
-  const stream::Session& session = service.session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  EXPECT_FALSE(session.metrics().failed);
+  const stream::SessionMetrics& m = service.session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  EXPECT_FALSE(m.failed);
 }
 
 }  // namespace

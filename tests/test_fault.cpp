@@ -170,7 +170,7 @@ TEST(ProactiveFailover, ServerCrashMidStreamSwitchesImmediately) {
   injector.crash_server_at(SimTime{15.0}, fx.g.thessaloniki);
   fx.sim.run_until(from_hours(2.0));
 
-  const stream::SessionMetrics& m = fx.service->session(id).metrics();
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
   EXPECT_TRUE(m.finished);
   EXPECT_FALSE(m.failed);
   EXPECT_EQ(m.proactive_failovers, 1);
@@ -197,7 +197,7 @@ TEST(ProactiveFailover, LinkCutMidStreamSwitchesImmediately) {
             rerouted.end());
   fx.sim.run_until(from_hours(2.0));
 
-  const stream::SessionMetrics& m = fx.service->session(id).metrics();
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
   EXPECT_TRUE(m.finished);
   EXPECT_FALSE(m.failed);
   EXPECT_EQ(m.proactive_failovers, 1);
@@ -218,7 +218,7 @@ TEST(WatchdogFailover, BlackHoledCrashIsRescuedByWatchdog) {
   injector.crash_server_at(SimTime{15.0}, fx.g.thessaloniki);
   fx.sim.run_until(from_hours(2.0));
 
-  const stream::SessionMetrics& m = fx.service->session(id).metrics();
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
   EXPECT_TRUE(m.finished);
   EXPECT_FALSE(m.failed);
   EXPECT_EQ(m.proactive_failovers, 0);
@@ -260,7 +260,7 @@ TEST(ServiceRetry, FailedSessionIsResubmittedWithBackoff) {
   const auto third = fx.service->retried_as(*second);
   ASSERT_TRUE(third.has_value());
   EXPECT_FALSE(fx.service->session_superseded(*third));
-  EXPECT_TRUE(fx.service->session(*third).metrics().finished);
+  EXPECT_TRUE(fx.service->session_metrics(*third).finished);
   // The user callback fired exactly once, for the surviving attempt.
   EXPECT_EQ(done_calls, 1);
   EXPECT_TRUE(final_finished);
@@ -359,7 +359,7 @@ TEST(ZeroHang, SeededFaultStormLeavesNoSessionInFlight) {
   // The hard guarantee: every session either finished or failed with an
   // explicit reason — the default watchdog leaves nothing hanging.
   for (const SessionId id : fx.service->session_ids()) {
-    const stream::SessionMetrics& m = fx.service->session(id).metrics();
+    const stream::SessionMetrics& m = fx.service->session_metrics(id);
     EXPECT_TRUE(m.finished || m.failed) << "session " << id.value();
     if (m.failed) {
       EXPECT_FALSE(m.failure_reason.empty()) << "session " << id.value();

@@ -73,9 +73,9 @@ TEST(Interactions, HysteresisPolicyStillFailsOverOnServerLoss) {
     fx.service->set_server_online(fx.g.thessaloniki, false);
   });
   fx.sim.run_until(from_hours(2.0));
-  const stream::Session& session = fx.service->session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  EXPECT_EQ(session.metrics().cluster_sources.back(), fx.g.xanthi);
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(m.cluster_sources.back(), fx.g.xanthi);
 }
 
 TEST(Interactions, ParityServersSurviveDiskLossWithoutCatalogChange) {
@@ -93,7 +93,7 @@ TEST(Interactions, ParityServersSurviveDiskLossWithoutCatalogChange) {
             1u);
   const SessionId id = fx.service->request_at(fx.g.patra, fx.movie);
   fx.sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(fx.service->session(id).metrics().finished);
+  EXPECT_TRUE(fx.service->session_metrics(id).finished);
   // A second disk failure on the same server does lose the title.
   const auto lost2 = fx.service->fail_disk(fx.g.thessaloniki, 1);
   EXPECT_EQ(lost2, std::vector<VideoId>{fx.movie});
@@ -128,7 +128,7 @@ TEST(Interactions, SpecDrivenParityAndOverridesEndToEnd) {
   EXPECT_TRUE(service.fail_disk(hub, 2).empty());
   const SessionId id = service.request_at(edge, videos.at("m"));
   sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(service.session(id).metrics().finished);
+  EXPECT_TRUE(service.session_metrics(id).finished);
   // Override honored: the edge server has 2 disks.
   EXPECT_EQ(service.dma_cache(edge).disks().disk_count(), 2u);
   EXPECT_EQ(service.dma_cache(edge).disks().mode(),
@@ -159,7 +159,7 @@ TEST(Interactions, CoalescedJoinersShareFailureOutcomes) {
     fx.service->set_server_online(fx.g.thessaloniki, false);
   });
   fx.sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(fx.service->session(leader).metrics().failed);
+  EXPECT_TRUE(fx.service->session_metrics(leader).failed);
   EXPECT_EQ(done_calls, 2);
   EXPECT_TRUE(joiner_saw_failure);
 }

@@ -46,7 +46,7 @@ struct Walkthrough {
   NodeId first_source(SessionId id) {
     sim.run_until(sim.now() + 1.0);  // let the first selection happen
     const auto& sources =
-        service->session(id).metrics().cluster_sources;
+        service->session_metrics(id).cluster_sources;
     EXPECT_FALSE(sources.empty());
     return sources.empty() ? NodeId{} : sources.front();
   }

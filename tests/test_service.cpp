@@ -97,13 +97,13 @@ TEST(VodService, EndToEndRequestStreamsAndCompletes) {
       });
   fx.sim.run_until(from_hours(2.0));
   EXPECT_TRUE(done);
-  const stream::Session& session = fx.service->session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  EXPECT_EQ(session.home(), fx.g.patra);
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(fx.service->session_home(id), fx.g.patra);
   // At quiet early-morning load the VRA picks Thessaloniki via U2,U3,U4
   // (the corrected Experiment A decision).
-  ASSERT_FALSE(session.metrics().cluster_sources.empty());
-  EXPECT_EQ(session.metrics().cluster_sources.front(),
+  ASSERT_FALSE(m.cluster_sources.empty());
+  EXPECT_EQ(m.cluster_sources.front(),
             fx.g.thessaloniki);
 }
 
@@ -128,14 +128,13 @@ TEST(VodService, LocalTitleServedFromHomeServer) {
   fx.service->start();
   const SessionId id = fx.service->request_at(fx.g.patra, fx.movie);
   fx.sim.run_until(from_hours(1.0));
-  const stream::Session& session = fx.service->session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  for (const NodeId source : session.metrics().cluster_sources) {
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  for (const NodeId source : m.cluster_sources) {
     EXPECT_EQ(source, fx.g.patra);
   }
   // Local delivery is fast: 40 MB at the 80 Mbps local rate = 4 s.
-  EXPECT_NEAR(session.metrics().download_completed_at->seconds(), 4.0,
-              1e-6);
+  EXPECT_NEAR(m.download_completed_at->seconds(), 4.0, 1e-6);
 }
 
 TEST(VodService, DmaAdmitsPopularTitleAtHomeServer) {
@@ -160,9 +159,9 @@ TEST(VodService, OfflineServerTriggersFailover) {
   fx.service->start();
   const SessionId id = fx.service->request_at(fx.g.patra, fx.movie);
   fx.sim.run_until(from_hours(2.0));
-  const stream::Session& session = fx.service->session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  for (const NodeId source : session.metrics().cluster_sources) {
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  for (const NodeId source : m.cluster_sources) {
     EXPECT_EQ(source, fx.g.xanthi);
   }
 }
@@ -172,7 +171,7 @@ TEST(VodService, NoHolderFailsSession) {
   fx.service->start();
   const SessionId id = fx.service->request_at(fx.g.patra, fx.movie);
   fx.sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(fx.service->session(id).metrics().failed);
+  EXPECT_TRUE(fx.service->session_metrics(id).failed);
 }
 
 TEST(VodService, SessionIdsEnumerated) {
@@ -204,9 +203,9 @@ TEST(VodService, MidStreamServerSwitchOnCongestion) {
     id = fx.service->request_at(fx.g.patra, epic);
   });
   fx.sim.run_until(from_hours(16.0));
-  const stream::Session& session = fx.service->session(id);
-  EXPECT_TRUE(session.metrics().finished);
-  EXPECT_EQ(session.metrics().cluster_completed.size(), 40u);
+  const stream::SessionMetrics& m = fx.service->session_metrics(id);
+  EXPECT_TRUE(m.finished);
+  EXPECT_EQ(m.cluster_completed.size(), 40u);
 }
 
 TEST(VodService, TopTitlesRankByNetworkWideDemand) {

@@ -126,8 +126,7 @@ std::string run_soak(std::uint64_t seed, int days) {
   // 2. Every session is terminal, with sane metrics.
   int finished = 0, failed = 0;
   for (const SessionId id : service.session_ids()) {
-    const stream::Session& session = service.session(id);
-    const stream::SessionMetrics& m = session.metrics();
+    const stream::SessionMetrics& m = service.session_metrics(id);
     EXPECT_TRUE(m.finished || m.failed) << "session " << id.value();
     EXPECT_FALSE(m.finished && m.failed);
     (m.finished ? finished : failed) += 1;
@@ -139,7 +138,7 @@ std::string run_soak(std::uint64_t seed, int days) {
       last = t;
     }
     if (m.finished) {
-      EXPECT_EQ(m.cluster_completed.size(), session.cluster_count());
+      EXPECT_EQ(m.cluster_completed.size(), m.cluster_sources.size());
       EXPECT_GT(m.mean_delivered_rate.value(), 0.0);
     }
   }

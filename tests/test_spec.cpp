@@ -198,7 +198,7 @@ TEST(SpecEndToEnd, InitializedServiceServesRequests) {
   const SessionId id = service.request_by_ip(
       "10.1.9.9", videos.at("big buck bunny"));
   sim.run_until(from_hours(1.0));
-  EXPECT_TRUE(service.session(id).metrics().finished);
+  EXPECT_TRUE(service.session_metrics(id).finished);
   // Placement landed where the spec said.
   const auto holders = service.database().full_view().servers_with_title(
       videos.at("sintel"));

@@ -47,6 +47,16 @@ keeps module APIs honest:
                     string literal or a lazy lambda.  Waive with
                     // vodlint:contract-ok(<reason>).
 
+  [dense-store]     No node-based std::map/std::set keyed by SessionId or
+                    FlowId in the hot-path directories (src/service,
+                    src/net, src/stream, src/sim).  Those ids are issued
+                    monotonically and churn by the million, so the per-id
+                    stores must use the dense SlotMap (DESIGN.md §12);
+                    a node-based container there pays pointer chasing and
+                    per-entry allocation on every event.  Small, pruned,
+                    or compound-keyed maps can be waived with
+                    // vodlint:dense-ok(<reason>).
+
 Usage:
     vodlint.py [--root DIR] [PATH...]      # default PATH: src
     vodlint.py --self-test                 # run the embedded rule fixtures
@@ -85,6 +95,7 @@ WAIVERS = {
     "raw-units": "units-ok",
     "raw-throw": "throw-ok",
     "eager-message": "contract-ok",
+    "dense-store": "dense-ok",
 }
 
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
@@ -385,6 +396,40 @@ def check_eager_messages(
     return out
 
 
+DENSE_STORE_DIRS = ("src/service/", "src/net/", "src/stream/", "src/sim/")
+NODE_MAP_BY_ID = re.compile(
+    r"std\s*::\s*(?:map|set|multimap|multiset)\s*<\s*"
+    r"(?:\w+\s*::\s*)*(SessionId|FlowId)\b"
+)
+
+
+def check_dense_store(
+    path: str, raw: list[str], stripped: list[str]
+) -> list[Violation]:
+    norm = path.replace(os.sep, "/")
+    if not any(fragment in norm for fragment in DENSE_STORE_DIRS):
+        return []
+    out = []
+    for i, line in enumerate(stripped):
+        m = NODE_MAP_BY_ID.search(line)
+        if not m:
+            continue
+        if has_waiver(raw, i, WAIVERS["dense-store"]):
+            continue
+        out.append(
+            Violation(
+                path,
+                i + 1,
+                "dense-store",
+                f"node-based container keyed by {m.group(1)} in a hot-path "
+                "directory; ids are monotonic and churn at scale — use "
+                "SlotMap (common/slot_map.h) or waive with "
+                "// vodlint:dense-ok(<reason>)",
+            )
+        )
+    return out
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -423,6 +468,7 @@ def lint_sources(sources: dict[str, str]) -> list[Violation]:
         violations += check_raw_units(path, raw_lines, stripped_lines)
         violations += check_throws(path, raw_lines, stripped_lines)
         violations += check_eager_messages(path, raw_lines, stripped_lines)
+        violations += check_dense_store(path, raw_lines, stripped_lines)
     return violations
 
 
@@ -574,6 +620,26 @@ FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
             ),
         },
         [("eager-message", 1), ("eager-message", 4)],
+    ),
+    (
+        "node-based per-id stores flagged in hot-path dirs only; compound "
+        "keys and other id types pass; waiver honoured",
+        {
+            "src/service/store.h": (
+                "#include <map>\n"
+                "#include <set>\n"
+                "struct S {\n"
+                "  std::map<SessionId, int> sessions_;\n"
+                "  std::set<vod::FlowId> flows_;\n"
+                "  // vodlint:dense-ok(tiny, pruned on lookup)\n"
+                "  std::map<SessionId, int> waived_;\n"
+                "  std::map<std::pair<NodeId, VideoId>, int> batches_;\n"
+                "  std::set<NodeId> crashed_;\n"
+                "};\n"
+            ),
+            "src/db/catalog.h": "std::map<SessionId, int> offline_ok_;\n",
+        },
+        [("dense-store", 4), ("dense-store", 5)],
     ),
     (
         "violations inside comments and strings are ignored",
