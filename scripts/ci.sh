@@ -66,6 +66,13 @@ echo "==== perf gate (session store) ===="
 # waves; emits BENCH_scale.json.
 build/bench/bench_scale --scale-gate --out build/BENCH_scale.json
 
+echo "==== qos gate (tiered classes under storm) ===="
+# Seeded fault storm at >=90% bottleneck utilization: premium availability
+# and p99 stall must beat or match the single-class baseline while the
+# background class absorbs its floor share of the shed; emits
+# BENCH_qos.json.
+build/bench/bench_qos --qos-gate --out build/BENCH_qos.json
+
 # TSan support varies by image (needs libtsan for this compiler); probe
 # before committing to the preset so the gate degrades gracefully.
 if echo 'int main(){}' | \

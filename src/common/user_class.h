@@ -1,0 +1,53 @@
+// User service classes for tiered QoS.
+//
+// The paper promises every stream "a minimum decent frame rate"; a loaded
+// or faulty network cannot keep that promise to everyone at once.  Classes
+// make the triage explicit (the agent-based bandwidth-management literature
+// on distributed VoD uses the same three tiers): premium sessions get the
+// largest weighted share of contended links and may preempt lower classes
+// at admission; background sessions absorb the shed when capacity runs out.
+//
+// The enumerator order IS the priority order: a smaller underlying value
+// outranks a larger one.  Shedding walks the enum from the back (background
+// first), protection walks it from the front (premium first).  Everything
+// class-aware defaults to a single-class (kStandard, weight 1)
+// configuration that is byte-identical to the classless paper behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vod {
+
+/// Service tier of one user request / session.  Order = priority.
+enum class UserClass : std::uint8_t {
+  kPremium = 0,
+  kStandard = 1,
+  kBackground = 2,
+};
+
+inline constexpr std::size_t kUserClassCount = 3;
+
+/// Array index of a class (kPremium -> 0, ..., kBackground -> 2).
+[[nodiscard]] constexpr std::size_t class_index(UserClass cls) {
+  return static_cast<std::size_t>(cls);
+}
+
+/// True when `a` strictly outranks `b` (may preempt it, is shed after it).
+[[nodiscard]] constexpr bool outranks(UserClass a, UserClass b) {
+  return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b);
+}
+
+[[nodiscard]] constexpr const char* to_string(UserClass cls) {
+  switch (cls) {
+    case UserClass::kPremium:
+      return "premium";
+    case UserClass::kStandard:
+      return "standard";
+    case UserClass::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
+}  // namespace vod

@@ -108,9 +108,11 @@ void FluidNetwork::index_remove(FlowId id, const Flow& flow) {
   }
 }
 
-FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
+FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap,
+                                std::uint32_t weight) {
   require(!(rate_cap.value() <= 0.0),
       "FluidNetwork::start_flow: cap must be positive");
+  require(weight >= 1, "FluidNetwork::start_flow: weight must be >= 1");
   for (const LinkId link : path) {
     require(topology_.has_link(link),
         "FluidNetwork::start_flow: unknown link in path");
@@ -118,7 +120,7 @@ FlowId FluidNetwork::start_flow(std::vector<LinkId> path, Mbps rate_cap) {
   const bool deferred = pre_mutation();
   const FlowId id{next_flow_++};
   Flow& flow = flows_.insert(id, Flow{std::move(path), {}, rate_cap,
-                                      Mbps{0.0}});
+                                      Mbps{0.0}, weight});
   flow.links = flow.path;
   std::sort(flow.links.begin(), flow.links.end());
   flow.links.erase(std::unique(flow.links.begin(), flow.links.end()),
@@ -160,6 +162,12 @@ Mbps FluidNetwork::flow_rate(FlowId flow) const {
   const Flow* entry = flows_.find(flow);
   require_found(entry != nullptr, "FluidNetwork::flow_rate: unknown flow");
   return entry->rate;
+}
+
+std::uint32_t FluidNetwork::flow_weight(FlowId flow) const {
+  const Flow* entry = flows_.find(flow);
+  require_found(entry != nullptr, "FluidNetwork::flow_weight: unknown flow");
+  return entry->weight;
 }
 
 const std::vector<LinkId>& FluidNetwork::flow_path(FlowId flow) const {
@@ -236,12 +244,12 @@ double FluidNetwork::utilization(LinkId link) const {
 
 void FluidNetwork::reallocate() {
   // Progressive filling, driven by the incidence index: grow every
-  // unfrozen flow's rate uniformly until a flow hits its cap or a link
-  // exhausts its residual capacity; freeze and repeat.  Produces the
-  // max–min fair allocation subject to rate caps — bit-identical to
-  // reallocate_reference(), which rediscovers per-link unfrozen counts by
-  // scanning all flows each round where this maintains them as counters
-  // and resolves freeze sets through the per-link flow lists.
+  // unfrozen flow's rate by delta x weight until a flow hits its cap or a
+  // link exhausts its residual capacity; freeze and repeat.  Produces the
+  // weighted max–min fair allocation subject to rate caps — bit-identical
+  // to reallocate_reference(), which rediscovers per-link weight sums by
+  // scanning all flows each round where this maintains them as integer
+  // counters and resolves freeze sets through the per-link flow lists.
   ++reallocation_count_;
   VOD_PROFILE_SCOPE("fluid.reallocate");
   ensure_index_size();
@@ -258,12 +266,19 @@ void FluidNetwork::reallocate() {
             : 0.0;
   }
 
-  // Per-link unfrozen-flow counters: every indexed flow starts unfrozen
-  // (local/empty-path flows appear in no list).
-  std::vector<int>& unfrozen_on = scratch_unfrozen_on_;
-  unfrozen_on.resize(link_count);
+  // Per-link sums of unfrozen-flow weights: every indexed flow starts
+  // unfrozen (local/empty-path flows appear in no list).  Integer sums are
+  // exact, and with all-ones weights they equal the plain unfrozen counts,
+  // so the weighted arithmetic below reduces bit-for-bit to the old
+  // unweighted filler.
+  std::vector<std::uint64_t>& weight_on = scratch_weight_on_;
+  weight_on.resize(link_count);
   for (std::size_t l = 0; l < link_count; ++l) {
-    unfrozen_on[l] = static_cast<int>(link_flows_[l].size());
+    std::uint64_t sum = 0;
+    for (const IndexEntry& entry : link_flows_[l]) {
+      sum += flows_.slot_value(entry.slot).weight;
+    }
+    weight_on[l] = sum;
   }
 
   // Flow-parallel arrays in flows_ (ascending id) order, so fills and cap
@@ -304,7 +319,7 @@ void FluidNetwork::reallocate() {
     frozen[i] = 1;
     --unfrozen_total;
     for (const LinkId link : flow_of[i]->links) {
-      --unfrozen_on[link.value()];
+      weight_on[link.value()] -= flow_of[i]->weight;
     }
   };
   // Index of flow `id` in the parallel arrays (ids is sorted ascending).
@@ -319,25 +334,32 @@ void FluidNetwork::reallocate() {
   std::uint64_t rounds = 0;
   while (unfrozen_total > 0) {
     ++rounds;
-    // Largest uniform increment no constraint can absorb less of.
+    // Largest per-weight-unit increment no constraint can absorb less of:
+    // each unfrozen flow grows by delta x its weight, so a link drains at
+    // delta x (sum of unfrozen weights crossing it).
     double delta = std::numeric_limits<double>::infinity();
     for (std::size_t l = 0; l < link_count; ++l) {
-      const int n = unfrozen_on[l];
-      if (n > 0) delta = std::min(delta, residual[l] / n);
+      const std::uint64_t w = weight_on[l];
+      if (w > 0) {
+        delta = std::min(delta, residual[l] / static_cast<double>(w));
+      }
     }
     for (const std::size_t i : unfrozen) {
-      delta = std::min(delta, flow_of[i]->cap.value() - rate[i]);
+      delta = std::min(delta, (flow_of[i]->cap.value() - rate[i]) /
+                                  static_cast<double>(flow_of[i]->weight));
     }
 
     if (delta > 0.0) {
-      for (const std::size_t i : unfrozen) rate[i] += delta;
+      for (const std::size_t i : unfrozen) {
+        rate[i] += delta * static_cast<double>(flow_of[i]->weight);
+      }
       // Links with no unfrozen flows keep their residual bit-for-bit
       // (subtracting delta * 0 and re-clamping is the identity on the
       // non-negative values stored here), so they are skipped.
       for (std::size_t l = 0; l < link_count; ++l) {
-        const int n = unfrozen_on[l];
-        if (n > 0) {
-          residual[l] -= delta * n;
+        const std::uint64_t w = weight_on[l];
+        if (w > 0) {
+          residual[l] -= delta * static_cast<double>(w);
           residual[l] = std::max(residual[l], 0.0);
         }
       }
@@ -355,7 +377,7 @@ void FluidNetwork::reallocate() {
       }
     }
     for (std::size_t l = 0; l < link_count; ++l) {
-      if (unfrozen_on[l] <= 0 || residual[l] > kEps) continue;
+      if (weight_on[l] == 0 || residual[l] > kEps) continue;
       for (const IndexEntry& entry : link_flows_[l]) {
         const std::size_t i = slot_of(entry.id);
         if (!frozen[i]) {
@@ -407,9 +429,10 @@ void FluidNetwork::reallocate() {
 
 std::vector<std::pair<FlowId, Mbps>> FluidNetwork::reallocate_reference()
     const {
-  // The original from-scratch progressive filler, preserved verbatim as
-  // the oracle the indexed allocator is checked against: per-link unfrozen
-  // counts are recomputed by scanning every flow's path each round.
+  // The original from-scratch progressive filler, preserved as the oracle
+  // the indexed allocator is checked against: per-link unfrozen weight
+  // sums are recomputed by scanning every flow's path each round (with
+  // all-ones weights they are the old per-link unfrozen counts).
   std::vector<double> residual(topology_.link_count());
   for (std::size_t l = 0; l < residual.size(); ++l) {
     const LinkId link{static_cast<LinkId::underlying_type>(l)};
@@ -442,18 +465,18 @@ std::vector<std::pair<FlowId, Mbps>> FluidNetwork::reallocate_reference()
     }
   }
 
-  const auto unfrozen_on = [&](std::size_t l) {
-    int count = 0;
+  const auto weight_on = [&](std::size_t l) {
+    std::uint64_t sum = 0;
     for (const Active& a : active) {
       if (a.frozen) continue;
       for (const LinkId link : a.flow->path) {
         if (link.value() == l) {
-          ++count;
+          sum += a.flow->weight;
           break;
         }
       }
     }
-    return count;
+    return sum;
   };
 
   for (;;) {
@@ -461,23 +484,28 @@ std::vector<std::pair<FlowId, Mbps>> FluidNetwork::reallocate_reference()
     for (const Active& a : active) any_unfrozen |= !a.frozen;
     if (!any_unfrozen) break;
 
-    // Largest uniform increment no constraint can absorb less of.
+    // Largest per-weight-unit increment no constraint can absorb less of.
     double delta = std::numeric_limits<double>::infinity();
     for (std::size_t l = 0; l < residual.size(); ++l) {
-      const int n = unfrozen_on(l);
-      if (n > 0) delta = std::min(delta, residual[l] / n);
+      const std::uint64_t w = weight_on(l);
+      if (w > 0) {
+        delta = std::min(delta, residual[l] / static_cast<double>(w));
+      }
     }
     for (const Active& a : active) {
-      if (!a.frozen) delta = std::min(delta, a.flow->cap.value() - a.rate);
+      if (!a.frozen) {
+        delta = std::min(delta, (a.flow->cap.value() - a.rate) /
+                                    static_cast<double>(a.flow->weight));
+      }
     }
 
     if (delta > 0.0) {
       for (Active& a : active) {
-        if (!a.frozen) a.rate += delta;
+        if (!a.frozen) a.rate += delta * static_cast<double>(a.flow->weight);
       }
       for (std::size_t l = 0; l < residual.size(); ++l) {
-        const int n = unfrozen_on(l);
-        residual[l] -= delta * n;
+        const std::uint64_t w = weight_on(l);
+        residual[l] -= delta * static_cast<double>(w);
         residual[l] = std::max(residual[l], 0.0);
       }
     }

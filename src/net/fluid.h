@@ -7,6 +7,18 @@
 // NIC).  This is the standard abstraction for bandwidth-arithmetic studies —
 // and the paper's evaluation is exactly bandwidth arithmetic.
 //
+// Class-weighted sharing: every flow carries an integer weight (default 1).
+// The progressive filling grows each unfrozen flow by delta x weight per
+// round, so on a contended link a weight-4 premium flow receives 4x the
+// share of a weight-1 background flow.  Borrowing between classes is
+// emergent: a heavy flow frozen at its rate cap stops consuming increments,
+// and the remaining (lighter) flows keep filling into the capacity it left
+// unused — unused premium share spills to lower classes within the same
+// allocation epoch, and is reclaimed the instant the premium cap rises.
+// Weights are integers so the weighted arithmetic is exact: with every
+// weight at 1 each expression reduces bit-for-bit to the unweighted filler
+// the paper benches were frozen against.
+//
 // Scaling note: the allocator keeps a per-link *flow incidence index*
 // (link -> flows crossing it, ascending by id), so one progressive-filling
 // pass costs O(rounds x (links + active flows) + total incidence) instead of
@@ -73,8 +85,14 @@ class FluidNetwork {
 
   /// Starts a flow across `path` (links in order; may be empty for a purely
   /// local transfer, which then runs at `rate_cap`).  Every link must exist.
-  /// `rate_cap` must be positive.
-  FlowId start_flow(std::vector<LinkId> path, Mbps rate_cap);
+  /// `rate_cap` must be positive.  `weight` (>= 1) is the flow's share of
+  /// each filling increment — the class-weighted max-min knob; 1 is the
+  /// classless paper behaviour.
+  FlowId start_flow(std::vector<LinkId> path, Mbps rate_cap,
+                    std::uint32_t weight = 1);
+
+  /// The share weight a flow was started with.
+  [[nodiscard]] std::uint32_t flow_weight(FlowId flow) const;
 
   /// Removes a flow; throws std::out_of_range if unknown.
   void stop_flow(FlowId flow);
@@ -206,6 +224,10 @@ class FluidNetwork {
     std::vector<LinkId> links;  // sorted unique links — the index keys
     Mbps cap;
     Mbps rate;
+    /// Share weight of the progressive filling (>= 1).  Integer so per-link
+    /// weight sums are exact and the all-ones case stays bit-identical to
+    /// the unweighted filler.
+    std::uint32_t weight = 1;
   };
 
   /// One incidence-index entry: the slot index is stable for the flow's
@@ -276,7 +298,10 @@ class FluidNetwork {
   // Scratch buffers reused across reallocations (sized to flows/links) so
   // steady-state epochs allocate nothing.
   std::vector<double> scratch_residual_;
-  std::vector<int> scratch_unfrozen_on_;
+  /// Per-link sum of unfrozen-flow weights (exact: integer arithmetic).
+  /// All-ones weights make this the old per-link unfrozen *count*, so the
+  /// weighted filling reproduces the unweighted one bit-for-bit.
+  std::vector<std::uint64_t> scratch_weight_on_;
   std::vector<FlowId> scratch_ids_;
   std::vector<Flow*> scratch_flows_;
   std::vector<double> scratch_rates_;

@@ -40,14 +40,15 @@ void TransferManager::on_network_post_change() {
 
 FlowId TransferManager::start_transfer(std::vector<LinkId> path,
                                        MegaBytes size, Mbps rate_cap,
-                                       CompletionCallback on_complete) {
+                                       CompletionCallback on_complete,
+                                       std::uint32_t weight) {
   require(!(size.value() <= 0.0),
       "TransferManager::start_transfer: size must be positive");
   require(on_complete, "TransferManager::start_transfer: empty callback");
   const SimTime now = sim_.now();
   const BusyScope guard{busy_depth_};
   advance_progress(now);
-  const FlowId id = network_.start_flow(std::move(path), rate_cap);
+  const FlowId id = network_.start_flow(std::move(path), rate_cap, weight);
   transfers_.insert(id, Transfer{size, std::move(on_complete)});
   // A transfer born at or below the done epsilon never crosses it during a
   // settle, so it becomes a completion candidate outright.

@@ -35,8 +35,11 @@ class TransferManager {
 
   /// Starts moving `size` across `path` (empty = local, runs at `rate_cap`).
   /// `on_complete` fires exactly once unless the transfer is cancelled.
+  /// `weight` is the flow's share multiplier in the fluid network's
+  /// weighted max-min fill (1 = the classless default).
   FlowId start_transfer(std::vector<LinkId> path, MegaBytes size,
-                        Mbps rate_cap, CompletionCallback on_complete);
+                        Mbps rate_cap, CompletionCallback on_complete,
+                        std::uint32_t weight = 1);
 
   /// Aborts an in-flight transfer (no callback); throws if unknown.
   void cancel(FlowId id);

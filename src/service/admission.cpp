@@ -13,6 +13,10 @@ AdmissionController::AdmissionController(db::LimitedAccessView view,
     : view_(view), options_(options) {
   require(!(options.required_headroom <= 0.0),
       "AdmissionController: headroom must be positive");
+  for (const double h : options.class_headroom) {
+    require(!(h <= 0.0),
+        "AdmissionController: class headroom must be positive");
+  }
 }
 
 Mbps AdmissionController::path_residual(const routing::Path& path,
@@ -37,6 +41,19 @@ bool AdmissionController::admit(const vra::Decision& decision,
   if (decision.served_locally) return true;
   const Mbps residual = path_residual(decision.path, decision.path.source());
   return residual.value() >= options_.required_headroom * bitrate.value();
+}
+
+bool AdmissionController::admit(const vra::Decision& decision, Mbps bitrate,
+                                UserClass cls) const {
+  require(!(bitrate.value() <= 0.0), "AdmissionController: bad bitrate");
+  if (decision.served_locally) return true;
+  const Mbps residual = path_residual(decision.path, decision.path.source());
+  return residual.value() >= required_rate(bitrate, cls).value();
+}
+
+Mbps AdmissionController::required_rate(Mbps bitrate, UserClass cls) const {
+  return Mbps{options_.required_headroom *
+              options_.class_headroom[class_index(cls)] * bitrate.value()};
 }
 
 }  // namespace vod::service

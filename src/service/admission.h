@@ -12,7 +12,10 @@
 // allowed to start.
 #pragma once
 
+#include <array>
+
 #include "common/units.h"
+#include "common/user_class.h"
 #include "db/database.h"
 #include "routing/path.h"
 #include "vra/vra.h"
@@ -24,6 +27,13 @@ struct AdmissionOptions {
   /// Admit iff path residual >= headroom * title bitrate.  1.0 = exactly
   /// sustainable; >1 keeps slack for SNMP staleness and jitter.
   double required_headroom = 1.0;
+  /// Per-class multipliers on `required_headroom`, indexed by
+  /// class_index().  Lower classes demand more slack (their streams are
+  /// the first shed, so admitting them right at the edge just converts
+  /// admission into a deferred stall); premium can run closer to the
+  /// line.  All-ones = every class admitted exactly like the classless
+  /// check.
+  std::array<double, kUserClassCount> class_headroom{1.0, 1.0, 1.0};
 };
 
 /// Stateless residual-bandwidth check against the limited-access view.
@@ -42,6 +52,17 @@ class AdmissionController {
   /// Locally served sessions are always admitted (no network involved).
   [[nodiscard]] bool admit(const vra::Decision& decision,
                            Mbps bitrate) const;
+
+  /// Class-aware variant: the path must clear this class's headroom
+  /// (required_rate below).  kStandard with all-ones class_headroom is
+  /// exactly the classless check.
+  [[nodiscard]] bool admit(const vra::Decision& decision, Mbps bitrate,
+                           UserClass cls) const;
+
+  /// Residual bandwidth the path must show for a `cls` title of `bitrate`:
+  /// required_headroom x class_headroom[cls] x bitrate.  Also the deficit
+  /// target the preemption planner must free on each short link.
+  [[nodiscard]] Mbps required_rate(Mbps bitrate, UserClass cls) const;
 
   [[nodiscard]] const AdmissionOptions& options() const { return options_; }
 

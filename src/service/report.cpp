@@ -101,21 +101,33 @@ ResilienceReport build_resilience_report(const VodService& service,
   report.qos_floor = qos_floor;
   report.service_retries = service.service_retry_count();
   report.degraded_selections = service.vra().degraded_selection_count();
+  report.classed = service.options().qos.enabled;
   for (const SessionId id : service.session_ids()) {
     const stream::SessionMetrics& m = service.session_metrics(id);
+    ResilienceReport::ClassSla& sla =
+        report.by_class[class_index(service.session_class(id))];
     ++report.sessions;
     report.proactive_failovers += m.proactive_failovers;
     report.stall_retries += m.stall_retries;
     for (const double latency : m.failover_latencies) {
       report.failover_latency_seconds.add(latency);
+      sla.failover_latency_seconds.add(latency);
+    }
+    // Every sacrifice counts, retried-and-superseded attempts included.
+    if (m.failed && m.failure_reason == VodService::kPreemptedReason) {
+      ++sla.preempted;
     }
     if (service.session_superseded(id)) continue;  // outcome lives on
     ++report.requests;
+    ++sla.requests;
+    report.stall_seconds.add(m.rebuffer_seconds);
+    sla.stall_seconds.add(m.rebuffer_seconds);
     const bool hit_by_fault =
         !m.failover_latencies.empty() || m.proactive_failovers > 0;
     if (hit_by_fault) ++report.sessions_with_failover;
     if (m.finished) {
       ++report.finished;
+      ++sla.finished;
       if (hit_by_fault) ++report.survived_failover;
       const Mbps floor = qos_floor.value() > 0.0
                              ? qos_floor
@@ -123,9 +135,26 @@ ResilienceReport build_resilience_report(const VodService& service,
       if (m.meets_qos_floor(floor)) ++report.qos_ok;
     } else if (m.failed) {
       ++report.failed;
+      ++sla.failed;
     } else {
       ++report.hung;
     }
+  }
+  // The front-door admission series exist only for classes that saw a
+  // classed request (the instruments are created lazily).
+  const obs::MetricsSnapshot snap = service.metrics_snapshot();
+  for (std::size_t c = 0; c < kUserClassCount; ++c) {
+    const std::string prefix =
+        std::string("qos.") + to_string(static_cast<UserClass>(c)) + ".";
+    ResilienceReport::ClassSla& sla = report.by_class[c];
+    const auto read = [&](const char* what) -> std::uint64_t {
+      const std::string name = prefix + what;
+      return snap.has(name) ? snap.value_u64(name) : 0;
+    };
+    sla.admission_requests = read("requests");
+    sla.admitted = read("admitted");
+    sla.rejected = read("rejected");
+    sla.no_server = read("no_server");
   }
   return report;
 }
@@ -152,12 +181,44 @@ std::string format_resilience_report(const ResilienceReport& report) {
         {"failover latency p95 (s)",
          TextTable::num(report.failover_latency_seconds.quantile(0.95), 2)});
   }
+  if (report.stall_seconds.count() > 0) {
+    table.add_row({"stall time p50 (s)",
+                   TextTable::num(report.stall_seconds.median(), 2)});
+    table.add_row({"stall time p99 (s)",
+                   TextTable::num(report.stall_seconds.quantile(0.99), 2)});
+  }
   table.add_row({"proactive failovers",
                  std::to_string(report.proactive_failovers)});
   table.add_row({"stall retries", std::to_string(report.stall_retries)});
   table.add_row({"service retries", std::to_string(report.service_retries)});
   table.add_row({"degraded selections",
                  std::to_string(report.degraded_selections)});
+  if (report.classed) {
+    for (std::size_t c = 0; c < kUserClassCount; ++c) {
+      const ResilienceReport::ClassSla& sla = report.by_class[c];
+      if (sla.requests == 0 && sla.admission_requests == 0) continue;
+      const std::string cls = to_string(static_cast<UserClass>(c));
+      table.add_row({cls + " admit rate",
+                     std::to_string(sla.admitted) + "/" +
+                         std::to_string(sla.admission_requests) + " (" +
+                         TextTable::num(100.0 * sla.admit_rate(), 1) + "%)"});
+      table.add_row({cls + " availability",
+                     TextTable::num(100.0 * sla.availability(), 1) + "%"});
+      table.add_row({cls + " preempted", std::to_string(sla.preempted)});
+      if (sla.stall_seconds.count() > 0) {
+        table.add_row(
+            {cls + " stall p50/p99 (s)",
+             TextTable::num(sla.stall_seconds.median(), 2) + " / " +
+                 TextTable::num(sla.stall_seconds.quantile(0.99), 2)});
+      }
+      if (sla.failover_latency_seconds.count() > 0) {
+        table.add_row(
+            {cls + " failover p95 (s)",
+             TextTable::num(sla.failover_latency_seconds.quantile(0.95),
+                            2)});
+      }
+    }
+  }
   return table.render();
 }
 

@@ -6,10 +6,12 @@
 // the paper's QoS floor.  Renders as an aligned table or CSV.
 #pragma once
 
+#include <array>
 #include <string>
 
 #include "common/stats.h"
 #include "common/units.h"
+#include "common/user_class.h"
 #include "service/vod_service.h"
 #include "vra/vra.h"
 
@@ -71,6 +73,43 @@ struct ResilienceReport {
 
   /// Fault notification -> streaming again, across all sessions.
   SampleSet failover_latency_seconds;
+
+  /// Rebuffer seconds per user-visible request (zero included): p50/p99
+  /// make degradation visible even when availability holds — a storm the
+  /// service "survives" by stalling everyone shows up here first.
+  SampleSet stall_seconds;
+
+  /// Per-class SLA slice (set when the service ran with qos enabled).
+  struct ClassSla {
+    /// Session-derived outcomes (superseded retry attempts excluded).
+    std::size_t requests = 0;
+    std::size_t finished = 0;
+    std::size_t failed = 0;
+    /// Sessions of this class aborted by the preemption planner, retried
+    /// attempts included — every sacrifice counts once.
+    std::size_t preempted = 0;
+    /// Front-door admission counters (from the qos.<class>.* series).
+    std::uint64_t admission_requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t no_server = 0;
+    SampleSet stall_seconds;
+    SampleSet failover_latency_seconds;
+
+    [[nodiscard]] double availability() const {
+      return requests > 0 ? static_cast<double>(finished) /
+                                static_cast<double>(requests)
+                          : 0.0;
+    }
+    [[nodiscard]] double admit_rate() const {
+      return admission_requests > 0
+                 ? static_cast<double>(admitted) /
+                       static_cast<double>(admission_requests)
+                 : 0.0;
+    }
+  };
+  bool classed = false;
+  std::array<ClassSla, kUserClassCount> by_class{};
 
   /// Finished requests over all requests — the headline availability.
   [[nodiscard]] double availability() const {

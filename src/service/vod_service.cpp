@@ -192,31 +192,43 @@ SessionId VodService::request_at(NodeId home, VideoId video,
   const auto info = db_.full_view().video(video);
   require(info, "request_at: unknown video");
   require(topology_.has_node(home), "request_at: unknown home node");
+  return request_at_impl(home, *info, UserClass::kStandard,
+                         std::move(on_done));
+}
 
+SessionId VodService::request_at_impl(NodeId home, const db::VideoInfo& info,
+                                      UserClass cls,
+                                      stream::Session::DoneCallback on_done) {
   if (obs::TraceRecorder* tr = obs::trace_sink()) {
     tr->instant(
         obs::Subsystem::kService, "service.request",
         {{"home", topology_.node_name(home)},
-         {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
+         {"video", obs::num(static_cast<std::uint64_t>(info.id.value()))}});
   }
 
   // DMA accounting at the home server: the request counts toward the
   // title's popularity there and may admit (or not) a local copy.
-  servers_.at(home).cache->on_request(video, info->size);
+  servers_.at(home).cache->on_request(info.id, info.size);
 
   // Coalescing: join a still-active stream of the same title to the same
   // home if it started recently enough (the joiner shares the multicast
-  // delivery; only the leader session carries transfer state).
+  // delivery; only the leader session carries transfer state).  Classed
+  // requests only join a leader of their own class — a premium joiner
+  // riding a background leader would inherit its weight and shedding
+  // order.
   if (options_.coalesce_window_seconds > 0.0) {
-    const auto key = std::make_pair(home, video);
+    const auto key = std::make_pair(home, info.id);
     const auto batch = batches_.find(key);
     if (batch != batches_.end()) {
       const auto& [leader, started] = batch->second;
       // The leader may already be retired (failed over, finished): such a
       // batch is dead and must never absorb a new request.
       auto* leader_slot = sessions_.find(leader);
-      if (leader_slot != nullptr && (*leader_slot)->active() &&
-          sim_.now() - started <= options_.coalesce_window_seconds) {
+      const bool joinable =
+          leader_slot != nullptr && (*leader_slot)->active() &&
+          sim_.now() - started <= options_.coalesce_window_seconds;
+      if (joinable &&
+          (!options_.qos.enabled || (*leader_slot)->user_class() == cls)) {
         stream::Session& leader_session = **leader_slot;
         ++coalesced_;
         // The joiner's completion coincides with the leader's.
@@ -230,22 +242,25 @@ SessionId VodService::request_at(NodeId home, VideoId video,
         }
         return leader;
       }
-      batches_.erase(batch);
+      // Dead or expired batches are dropped here; a live batch of another
+      // class is merely passed over (the spawn below takes over the key).
+      if (!joinable) batches_.erase(batch);
     }
   }
 
   const SessionId id =
-      spawn_session(home, *info, std::move(on_done),
-                    options_.failover.retry_limit,
+      spawn_session(home, info, cls, std::move(on_done),
+                    retry_limit_for(cls),
                     Duration{options_.failover.retry_backoff_seconds},
                     /*register_batch=*/true);
   VOD_LOG_INFO("service: session " << id.value() << " for video "
-                                   << info->title << " at "
+                                   << info.title << " at "
                                    << topology_.node_name(home));
   return id;
 }
 
 SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
+                                    UserClass cls,
                                     stream::Session::DoneCallback on_done,
                                     int retries_left, Duration backoff,
                                     bool register_batch) {
@@ -255,9 +270,9 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
   // inspect the service; it also retires the session (record + deferred
   // destruction) first, so the retry wrapper finds a record to annotate.
   auto done =
-      wrap_with_retry(id, home, info, std::move(on_done), retries_left,
+      wrap_with_retry(id, home, info, cls, std::move(on_done), retries_left,
                       backoff);
-  auto observed = [this, id, done = std::move(done)](
+  auto observed = [this, id, cls, done = std::move(done)](
                       const stream::Session& session) {
     --active_sessions_;
     const stream::SessionMetrics& m = session.metrics();
@@ -270,6 +285,16 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
         download_hist_.observe(*m.download_completed_at - m.requested_at);
       }
     }
+    if (options_.qos.enabled) {
+      ++qos_counter(cls, m.failed ? "failed" : "finished");
+      qos_histogram(cls, "stall_seconds", {1, 5, 15, 60, 300, 900})
+          .observe(m.rebuffer_seconds);
+      for (const double latency : m.failover_latencies) {
+        qos_histogram(cls, "failover_latency_seconds",
+                      {0.1, 0.5, 1, 5, 15, 60})
+            .observe(latency);
+      }
+    }
     if (obs::TraceRecorder* tr = obs::trace_sink()) {
       tr->counter(obs::Subsystem::kService, "service.active_sessions",
                   static_cast<double>(active_sessions_));
@@ -279,7 +304,7 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
   };
   ObjectPool<stream::Session>::Ptr session =
       session_pool_.make(sim_, transfers_, *policy_, info, home,
-                         options_.cluster_size, options_.session,
+                         options_.cluster_size, session_options_for(cls),
                          std::move(observed));
   stream::Session& ref = *session;
   ref.set_trace_id(id.value());
@@ -298,12 +323,12 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
 }
 
 stream::Session::DoneCallback VodService::wrap_with_retry(
-    SessionId id, NodeId home, const db::VideoInfo& info,
+    SessionId id, NodeId home, const db::VideoInfo& info, UserClass cls,
     stream::Session::DoneCallback on_done, int retries_left,
     Duration backoff) {
   if (retries_left <= 0) return on_done;
-  return [this, id, home, info, on_done = std::move(on_done), retries_left,
-          backoff](const stream::Session& session) {
+  return [this, id, home, info, cls, on_done = std::move(on_done),
+          retries_left, backoff](const stream::Session& session) {
     if (!session.metrics().failed) {
       if (on_done) on_done(session);
       return;
@@ -327,12 +352,15 @@ stream::Session::DoneCallback VodService::wrap_with_retry(
           {{"sid", obs::num(static_cast<std::uint64_t>(id.value()))},
            {"backoff_s", obs::num(backoff.seconds())}});
     }
+    // The retry re-enters at the session's own class: a preempted
+    // background session comes back as background (and may be preempted
+    // again), never promoted by the detour through the retry chain.
     sim_.schedule_in(
         backoff,
-        [this, id, home, info, on_done, retries_left,
+        [this, id, home, info, cls, on_done, retries_left,
          next_backoff](SimTime) {
           const SessionId retry =
-              spawn_session(home, info, on_done, retries_left - 1,
+              spawn_session(home, info, cls, on_done, retries_left - 1,
                             next_backoff, /*register_batch=*/false);
           if (SessionRecord* record = record_of(id)) {
             record->retried_as = retry;
@@ -351,7 +379,7 @@ VodService::AdmissionOutcome VodService::request_with_admission(
   if (!decision) {
     // The DMA still counts the demand even when nothing can serve it.
     servers_.at(home).cache->on_request(video, info->size);
-    return AdmissionOutcome{Admission::kNoServer, std::nullopt};
+    return AdmissionOutcome{Admission::kNoServer, std::nullopt, {}};
   }
   const AdmissionController admission{
       db_.limited_view(admin_),
@@ -367,11 +395,216 @@ VodService::AdmissionOutcome VodService::request_with_admission(
           {{"home", topology_.node_name(home)},
            {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
     }
-    return AdmissionOutcome{Admission::kRejected, std::nullopt};
+    return AdmissionOutcome{Admission::kRejected, std::nullopt, {}};
   }
   ++admitted_;
   const SessionId id = request_at(home, video, std::move(on_done));
-  return AdmissionOutcome{Admission::kAdmitted, id};
+  return AdmissionOutcome{Admission::kAdmitted, id, {}};
+}
+
+VodService::AdmissionOutcome VodService::request_classed(
+    NodeId home, VideoId video, UserClass cls, double headroom,
+    stream::Session::DoneCallback on_done) {
+  const auto info = db_.full_view().video(video);
+  require(info, "request_classed: unknown video");
+  require(topology_.has_node(home), "request_classed: unknown home node");
+  const bool qos = options_.qos.enabled;
+  if (qos) ++qos_counter(cls, "requests");
+
+  const auto decision = vra_->select_server(home, video);
+  if (!decision) {
+    // The DMA still counts the demand even when nothing can serve it.
+    servers_.at(home).cache->on_request(video, info->size);
+    if (qos) ++qos_counter(cls, "no_server");
+    return AdmissionOutcome{Admission::kNoServer, std::nullopt, {}};
+  }
+
+  AdmissionOptions admission_options{.required_headroom = headroom};
+  if (qos) {
+    for (std::size_t c = 0; c < kUserClassCount; ++c) {
+      admission_options.class_headroom[c] =
+          options_.qos.policies[c].admission_headroom;
+    }
+  }
+  const AdmissionController admission{db_.limited_view(admin_),
+                                      admission_options};
+  if (admission.admit(*decision, info->bitrate, cls)) {
+    ++admitted_;
+    if (qos) ++qos_counter(cls, "admitted");
+    const SessionId id =
+        request_at_impl(home, *info, cls, std::move(on_done));
+    return AdmissionOutcome{Admission::kAdmitted, id, {}};
+  }
+
+  // Plain admission failed.  Preemption may still carve out room — but
+  // only by sacrificing strictly lower classes, and only when the whole
+  // deficit is coverable (nobody is aborted for a plan that cannot fit
+  // the request anyway).
+  if (qos && options_.qos.allow_preemption && !decision->served_locally) {
+    const auto victims =
+        plan_preemption(decision->path.links,
+                        admission.required_rate(info->bitrate, cls), cls);
+    if (victims) {
+      // One allocation epoch for the whole sacrifice: the fair shares are
+      // re-solved once, after every victim's flow is torn down.
+      {
+        const net::FluidNetwork::BatchGuard epoch =
+            network_.defer_reallocate();
+        for (const SessionId victim : *victims) {
+          auto* slot = sessions_.find(victim);
+          if (slot == nullptr || !(*slot)->active()) continue;
+          ++preemption_victims_;
+          ++qos_counter((*slot)->user_class(), "preempted");
+          VOD_LOG_INFO("service: preempting session " << victim.value());
+          if (obs::TraceRecorder* tr = obs::trace_sink()) {
+            tr->instant(obs::Subsystem::kService, "service.preempt",
+                        {{"victim", obs::num(static_cast<std::uint64_t>(
+                             victim.value()))}});
+          }
+          (*slot)->abort(kPreemptedReason);
+        }
+      }
+      ++admitted_;
+      ++preempted_admits_;
+      ++qos_counter(cls, "admitted");
+      ++qos_counter(cls, "preempted_admits");
+      const SessionId id =
+          request_at_impl(home, *info, cls, std::move(on_done));
+      return AdmissionOutcome{Admission::kPreempted, id,
+                              std::move(*victims)};
+    }
+  }
+
+  servers_.at(home).cache->on_request(video, info->size);
+  ++rejected_;
+  if (qos) ++qos_counter(cls, "rejected");
+  VOD_LOG_INFO("service: rejected " << to_string(cls) << " request for "
+                                    << info->title << " (no QoS headroom)");
+  if (obs::TraceRecorder* tr = obs::trace_sink()) {
+    tr->instant(
+        obs::Subsystem::kService, "service.reject",
+        {{"home", topology_.node_name(home)},
+         {"video", obs::num(static_cast<std::uint64_t>(video.value()))}});
+  }
+  return AdmissionOutcome{Admission::kRejected, std::nullopt, {}};
+}
+
+std::optional<std::vector<SessionId>> VodService::plan_preemption(
+    const std::vector<LinkId>& path, Mbps required, UserClass cls) {
+  if (path.empty()) return std::nullopt;
+  // Per-link deficits against the same slightly-stale limited-access
+  // statistics the admission check read.  A severed (offline) link cannot
+  // be mended by shedding load, so no plan exists for it.
+  const db::LimitedAccessView view = db_.limited_view(admin_);
+  std::vector<LinkId> short_links;
+  std::vector<double> deficit;
+  for (const LinkId link : path) {
+    const db::LinkRecord& record = view.link(link);
+    if (!record.online) return std::nullopt;
+    const double free = std::max(
+        0.0, (record.total_bandwidth - record.used_bandwidth).value());
+    if (free < required.value()) {
+      short_links.push_back(link);
+      deficit.push_back(required.value() - free);
+    }
+  }
+  if (short_links.empty()) return std::nullopt;
+
+  // Candidates: active sessions of a strictly lower class currently
+  // delivering across at least one short link.  What their abort frees on
+  // those links is their present fluid rate — the one number that is
+  // actually true right now, unlike the stale DB residuals.
+  struct Candidate {
+    SessionId id;
+    UserClass cls;
+    double rate;
+    std::vector<std::size_t> hits;  // indices into short_links
+  };
+  std::vector<Candidate> candidates;
+  sessions_.for_each_ordered(
+      [&](SessionId id, ObjectPool<stream::Session>::Ptr& session) {
+        if (!session->active()) return;
+        const UserClass victim_cls = session->user_class();
+        if (!outranks(cls, victim_cls)) return;
+        const double rate = session->inflight_rate().value();
+        if (rate <= 0.0) return;  // nothing reclaimable right now
+        std::vector<std::size_t> hits;
+        const std::vector<LinkId>& links = session->inflight_links();
+        for (std::size_t s = 0; s < short_links.size(); ++s) {
+          if (std::find(links.begin(), links.end(), short_links[s]) !=
+              links.end()) {
+            hits.push_back(s);
+          }
+        }
+        if (!hits.empty()) {
+          candidates.push_back(
+              Candidate{id, victim_cls, rate, std::move(hits)});
+        }
+      });
+
+  // Rank: lowest class first, youngest first within a class.  Both keys
+  // are total orders, so the plan is deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.cls != b.cls) {
+                return class_index(a.cls) > class_index(b.cls);
+              }
+              return a.id.value() > b.id.value();
+            });
+
+  std::vector<SessionId> plan;
+  std::size_t uncovered = short_links.size();
+  for (const Candidate& candidate : candidates) {
+    if (uncovered == 0) break;
+    bool helps = false;
+    for (const std::size_t s : candidate.hits) {
+      if (deficit[s] > 0.0) helps = true;
+    }
+    if (!helps) continue;  // its links are already covered — spare it
+    plan.push_back(candidate.id);
+    for (const std::size_t s : candidate.hits) {
+      if (deficit[s] <= 0.0) continue;
+      deficit[s] -= candidate.rate;
+      if (deficit[s] <= 0.0) --uncovered;
+    }
+  }
+  if (uncovered > 0) return std::nullopt;
+  return plan;
+}
+
+int VodService::retry_limit_for(UserClass cls) const {
+  if (!options_.qos.enabled) return options_.failover.retry_limit;
+  const int limit = options_.qos.policies[class_index(cls)].retry_limit;
+  return limit < 0 ? options_.failover.retry_limit : limit;
+}
+
+stream::SessionOptions VodService::session_options_for(UserClass cls) const {
+  stream::SessionOptions session_options = options_.session;
+  if (!options_.qos.enabled) return session_options;
+  const ClassPolicy& policy = options_.qos.policies[class_index(cls)];
+  session_options.user_class = cls;
+  session_options.flow_weight = policy.flow_weight;
+  session_options.stall_timeout_scale = policy.stall_timeout_scale;
+  return session_options;
+}
+
+obs::Counter& VodService::qos_counter(UserClass cls, const char* what) {
+  return metrics_.counter(std::string("qos.") + to_string(cls) + "." + what);
+}
+
+obs::Histogram& VodService::qos_histogram(UserClass cls, const char* what,
+                                          std::vector<double> upper_bounds) {
+  return metrics_.histogram(
+      std::string("qos.") + to_string(cls) + "." + what,
+      std::move(upper_bounds));
+}
+
+UserClass VodService::session_class(SessionId id) const {
+  if (const auto* slot = sessions_.find(id)) return (*slot)->user_class();
+  const SessionRecord* record = record_of(id);
+  require_found(record != nullptr,
+      "VodService::session_class: unknown session");
+  return record->user_class;
 }
 
 db::LimitedAccessView VodService::admin_view() {
@@ -390,6 +623,15 @@ void VodService::notify_sessions(const Predicate& predicate,
         if (!session->active()) return;
         if (predicate(*session)) affected.push_back(session.get());
       });
+  // Shed strictly bottom-up by class: premium failovers route (and grab
+  // residual capacity) first, background last.  The sort is stable over
+  // the ascending-id collection order, so a single-class population keeps
+  // the exact pre-QoS notification order.
+  std::stable_sort(affected.begin(), affected.end(),
+                   [](const stream::Session* a, const stream::Session* b) {
+                     return class_index(a->user_class()) <
+                            class_index(b->user_class());
+                   });
   // One allocation epoch for the whole storm: every failover in the sweep
   // tears down one flow and starts another, and the fair shares are
   // re-solved once when the guard releases.  The network mutation that
@@ -436,7 +678,10 @@ void VodService::restore_link(LinkId link) {
 void VodService::crash_server(NodeId server) {
   require_found(servers_.contains(server),
       "VodService::crash_server: unknown server");
-  if (!crashed_servers_.insert(server).second) return;
+  const auto pos = std::lower_bound(crashed_servers_.begin(),
+                                    crashed_servers_.end(), server);
+  if (pos != crashed_servers_.end() && *pos == server) return;
+  crashed_servers_.insert(pos, server);
   // Both modes: the VRA polls candidate servers per request, and a crashed
   // box answers no poll — only the *reaction of running sessions* differs.
   set_server_online(server, false);
@@ -454,7 +699,10 @@ void VodService::crash_server(NodeId server) {
 void VodService::restore_server(NodeId server) {
   require_found(servers_.contains(server),
       "VodService::restore_server: unknown server");
-  if (crashed_servers_.erase(server) == 0) return;
+  const auto pos = std::lower_bound(crashed_servers_.begin(),
+                                    crashed_servers_.end(), server);
+  if (pos == crashed_servers_.end() || *pos != server) return;
+  crashed_servers_.erase(pos);
   // The restarted server still holds its disk contents; it re-registers as
   // online and the VRA may select it again immediately.
   set_server_online(server, true);
@@ -472,8 +720,9 @@ void VodService::retire_session(SessionId id,
     if (retired_.size() <= id.value()) {
       retired_.resize(static_cast<std::size_t>(id.value()) + 1);
     }
-    retired_[id.value()] =
-        SessionRecord{session.metrics(), session.home(), session.video()};
+    retired_[id.value()] = SessionRecord{session.metrics(), session.home(),
+                                         session.video(),
+                                         session.user_class()};
   }
   // Destruction is deferred to a same-instant sweep event: this runs
   // inside the session's own done-callback stack, where `delete this`

@@ -12,17 +12,19 @@
 // happens.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <limits>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/slot_map.h"
 #include "common/units.h"
+#include "common/user_class.h"
 #include "db/database.h"
 #include "dma/dma_cache.h"
 #include "net/fluid.h"
@@ -68,6 +70,47 @@ struct FailoverOptions {
   double retry_backoff_max_seconds = 480.0;
 };
 
+/// Per-class service policy (see QosOptions::policies, indexed by
+/// class_index()).  The defaults are identity knobs: weight 1, headroom
+/// x1, the global retry budget, unscaled patience.
+struct ClassPolicy {
+  /// Weight of this class's transfers in the fluid network's weighted
+  /// max-min fill.  Borrowing is emergent: a premium flow frozen at its
+  /// cap stops consuming fill increments, so its unused share spills to
+  /// whoever is still filling — lower classes included — each allocation
+  /// epoch.
+  std::uint32_t flow_weight = 1;
+  /// Multiplier on the base admission headroom for this class (lower
+  /// classes demand more slack; see AdmissionOptions::class_headroom).
+  double admission_headroom = 1.0;
+  /// Service-level retry budget for this class; -1 inherits
+  /// FailoverOptions::retry_limit.  0 means a failed (or preempted)
+  /// session of this class is simply absorbed shed.
+  int retry_limit = -1;
+  /// Multiplier on the session stall timeout: <1 gives up sooner (sheds
+  /// first under a storm), >1 is more patient.
+  double stall_timeout_scale = 1.0;
+};
+
+/// Tiered-QoS configuration.  Disabled (the default) keeps the service
+/// byte-identical to the classless paper behaviour: every class-aware
+/// branch collapses to the identity and no per-class metric is created.
+struct QosOptions {
+  bool enabled = false;
+  /// May a request that fails plain admission preempt enough lower-class
+  /// sessions (ranked class-descending, then youngest-first) to fit?
+  bool allow_preemption = true;
+  /// Indexed by class_index(): premium, standard, background.
+  std::array<ClassPolicy, kUserClassCount> policies{
+      ClassPolicy{/*flow_weight=*/4, /*admission_headroom=*/1.0,
+                  /*retry_limit=*/-1, /*stall_timeout_scale=*/1.5},
+      ClassPolicy{/*flow_weight=*/2, /*admission_headroom=*/1.1,
+                  /*retry_limit=*/-1, /*stall_timeout_scale=*/1.0},
+      ClassPolicy{/*flow_weight=*/1, /*admission_headroom=*/1.25,
+                  /*retry_limit=*/-1, /*stall_timeout_scale=*/0.5},
+  };
+};
+
 /// What the service keeps of a session once it finishes or fails.  Full
 /// Session objects are always retired (destroyed) on completion — memory
 /// for live machinery is O(active sessions) either way; this chooses what
@@ -90,6 +133,7 @@ struct SessionRecord {
   stream::SessionMetrics metrics;
   NodeId home;
   db::VideoInfo video;
+  UserClass user_class = UserClass::kStandard;
   /// Retry-chain bookkeeping (FailoverOptions::retry_limit): set when this
   /// session failed and was re-submitted, superseding its outcome.
   bool superseded = false;
@@ -133,6 +177,8 @@ struct ServiceOptions {
   std::map<NodeId, ServerSetup> server_overrides{};
   /// What survives a session's retirement (see SessionRetention).
   SessionRetention retention = SessionRetention::kSummaries;
+  /// Tiered user-class QoS (request_classed); off = classless paper mode.
+  QosOptions qos{};
 };
 
 /// The running service.
@@ -181,12 +227,17 @@ class VodService {
   SessionId request_at(NodeId home, VideoId video,
                        stream::Session::DoneCallback on_done = {});
 
-  /// Outcome of an admission-controlled request.
-  enum class Admission { kAdmitted, kRejected, kNoServer };
+  /// Outcome of an admission-controlled request.  kPreempted means
+  /// admitted *by* preemption: the session started, and `preempted` lists
+  /// who paid for it.
+  enum class Admission { kAdmitted, kRejected, kNoServer, kPreempted };
   struct AdmissionOutcome {
     Admission verdict;
-    /// Set only when admitted.
+    /// Set only when admitted (kAdmitted or kPreempted).
     std::optional<SessionId> session;
+    /// Sessions aborted to make room (kPreempted only), in the order they
+    /// were sacrificed: lowest class first, youngest first within a class.
+    std::vector<SessionId> preempted;
   };
 
   /// Like request_at, but the session starts only if the VRA's chosen path
@@ -197,6 +248,37 @@ class VodService {
   AdmissionOutcome request_with_admission(
       NodeId home, VideoId video, double headroom = 1.0,
       stream::Session::DoneCallback on_done = {});
+
+  /// Fixed failure reason of sessions aborted by the preemption planner —
+  /// reports and tests identify victims by it.
+  static constexpr const char* kPreemptedReason =
+      "preempted by higher-class admission";
+
+  /// The tiered front door (ServiceOptions::qos): class-aware admission
+  /// (per-class headroom via `headroom` x the class's multiplier), then —
+  /// when plain admission fails, preemption is allowed, and the path is
+  /// merely saturated rather than severed — the planner ranks strictly
+  /// lower-class victims (class-descending, youngest-first, deterministic)
+  /// and aborts just enough of them, by their current delivered rates, to
+  /// cover every short link's deficit.  Victims re-enter through the
+  /// service-retry chain at their own class (their remaining budget
+  /// permitting).  With qos.enabled == false this is exactly
+  /// request_with_admission for any class argument.
+  AdmissionOutcome request_classed(NodeId home, VideoId video, UserClass cls,
+                                   double headroom = 1.0,
+                                   stream::Session::DoneCallback on_done = {});
+
+  /// Class of an active or retired session (kStandard for pre-QoS runs).
+  [[nodiscard]] UserClass session_class(SessionId id) const;
+
+  /// Sessions aborted by the preemption planner so far.
+  [[nodiscard]] std::size_t preemption_victim_count() const {
+    return preemption_victims_;
+  }
+  /// Requests admitted only by preempting someone (kPreempted outcomes).
+  [[nodiscard]] std::size_t preempted_admit_count() const {
+    return preempted_admits_;
+  }
 
   [[nodiscard]] std::size_t admitted_count() const {
     return static_cast<std::size_t>(admitted_.value());
@@ -243,7 +325,8 @@ class VodService {
   void crash_server(NodeId server);
   void restore_server(NodeId server);
   [[nodiscard]] bool server_crashed(NodeId server) const {
-    return crashed_servers_.contains(server);
+    return std::binary_search(crashed_servers_.begin(),
+                              crashed_servers_.end(), server);
   }
 
   /// Service-level retries performed so far (FailoverOptions::retry_limit).
@@ -325,15 +408,48 @@ class VodService {
   /// Creates, registers and starts a session; wraps `on_done` with the
   /// service-retry machinery when `retries_left > 0`.  `register_batch`
   /// is false for retry sessions (they joined no coalescing batch and
-  /// already paid their DMA accounting).
+  /// already paid their DMA accounting).  `cls` selects the per-class
+  /// session knobs (weight, patience) and rides the retry chain, so a
+  /// preempted or failed session re-enters at its own class.
   SessionId spawn_session(NodeId home, const db::VideoInfo& info,
+                          UserClass cls,
                           stream::Session::DoneCallback on_done,
                           int retries_left, Duration backoff,
                           bool register_batch);
   stream::Session::DoneCallback wrap_with_retry(
-      SessionId id, NodeId home, const db::VideoInfo& info,
+      SessionId id, NodeId home, const db::VideoInfo& info, UserClass cls,
       stream::Session::DoneCallback on_done, int retries_left,
       Duration backoff);
+
+  /// The shared tail of request_at / request_classed: DMA accounting,
+  /// class-gated coalescing (a request only joins a leader of its own
+  /// class), spawn with the class's retry budget.
+  SessionId request_at_impl(NodeId home, const db::VideoInfo& info,
+                            UserClass cls,
+                            stream::Session::DoneCallback on_done);
+
+  /// This class's service-retry budget (ClassPolicy::retry_limit, -1 =
+  /// the global FailoverOptions::retry_limit).
+  [[nodiscard]] int retry_limit_for(UserClass cls) const;
+  /// The per-session knobs for `cls`: ServiceOptions::session with the
+  /// class's flow weight, patience scale and label applied (identity when
+  /// qos is disabled).
+  [[nodiscard]] stream::SessionOptions session_options_for(
+      UserClass cls) const;
+  /// Lazy per-class instruments (`qos.<class>.<what>`): created on first
+  /// touch, so classless runs never grow the registry.
+  obs::Counter& qos_counter(UserClass cls, const char* what);
+  obs::Histogram& qos_histogram(UserClass cls, const char* what,
+                                std::vector<double> upper_bounds);
+
+  /// The preemption plan for a failed admission: which strictly-lower-
+  /// class sessions to abort so that every link of `path` short of
+  /// `required` residual recovers the difference (by the victims' current
+  /// delivered rates).  Victims are ranked class-descending then
+  /// youngest-first (id descending).  nullopt when the candidates cannot
+  /// cover the deficit — then nobody is sacrificed in vain.
+  [[nodiscard]] std::optional<std::vector<SessionId>> plan_preemption(
+      const std::vector<LinkId>& path, Mbps required, UserClass cls);
 
   /// Stamps and (if proactive) fails over every active session whose
   /// in-flight transfer `predicate` says is hit by the fault.
@@ -404,7 +520,14 @@ class VodService {
   obs::Histogram& download_hist_ = metrics_.histogram(
       "session.download_seconds", {60, 300, 600, 1800, 3600, 7200, 14400});
   std::size_t active_sessions_ = 0;
-  std::set<NodeId> crashed_servers_;
+  /// Crashed-server set on the failover hot path: sorted vector, binary
+  /// searched — a handful of NodeIds never justifies a node-based tree.
+  std::vector<NodeId> crashed_servers_;
+  /// Preemption totals (plain members, not registry counters: the
+  /// registry's per-class series are created lazily so classless
+  /// snapshots stay untouched, but these must be readable either way).
+  std::size_t preemption_victims_ = 0;
+  std::size_t preempted_admits_ = 0;
 };
 
 }  // namespace vod::service

@@ -40,6 +40,9 @@ Session::Session(sim::Simulation& sim, net::TransferManager& transfers,
       "Session: cluster size must be positive");
   require(options_.prebuffer_clusters != 0,
       "Session: prebuffer must be >= 1 cluster");
+  require(options_.flow_weight >= 1, "Session: flow weight must be >= 1");
+  require(options_.stall_timeout_scale > 0.0,
+      "Session: stall timeout scale must be positive");
   if (options_.stall_timeout_seconds == kAutoStallTimeout) {
     require(!(options_.flow_cap.value() <= 0.0),
         "Session: flow cap must be positive");
@@ -51,6 +54,11 @@ Session::Session(sim::Simulation& sim, net::TransferManager& transfers,
     fail_require(
         "Session: stall timeout must be positive, infinity, or "
         "kAutoStallTimeout");
+  }
+  // Class patience knob; x1.0 is the bit-identical classless default (and
+  // scaling infinity keeps the watchdog disabled).
+  if (options_.stall_timeout_scale != 1.0) {
+    stall_timeout_ *= options_.stall_timeout_scale;
   }
   // The striping plan defines the cluster boundaries; the disk count is
   // irrelevant for sizes, so any positive count works here.
@@ -158,7 +166,8 @@ void Session::fetch_next_cluster(SimTime now) {
   inflight_path_ = selection->path.links;
   inflight_ = transfers_.start_transfer(
       selection->path.links, part_sizes_[index], cap,
-      [this, index](SimTime t) { on_cluster_done(index, t); });
+      [this, index](SimTime t) { on_cluster_done(index, t); },
+      options_.flow_weight);
 
   if (std::isfinite(stall_timeout_)) {
     watchdog_ = sim_.schedule_in(
@@ -257,6 +266,13 @@ void Session::black_hole_inflight() {
   // Keep inflight_ set: from the session's view the download is still
   // "running", it just never delivers another byte.
   if (transfers_.active(*inflight_)) transfers_.cancel(*inflight_);
+}
+
+Mbps Session::inflight_rate() const {
+  if (!active() || !inflight_ || !transfers_.active(*inflight_)) {
+    return Mbps{0.0};
+  }
+  return transfers_.current_rate(*inflight_);
 }
 
 std::optional<NodeId> Session::streaming_source() const {

@@ -19,6 +19,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/units.h"
+#include "common/user_class.h"
 #include "db/records.h"
 #include "net/transfer.h"
 #include "stream/policy.h"
@@ -56,6 +57,19 @@ struct SessionOptions {
   /// Stall retries tolerated across the whole session (genuinely dead
   /// titles must still fail instead of retrying per cluster forever).
   int max_total_retries = 25;
+  /// Service tier this session streams at.  Purely a label at this layer
+  /// (the service's admission/shedding logic reads it); the knobs below
+  /// carry its bandwidth-share and patience consequences.
+  UserClass user_class = UserClass::kStandard;
+  /// Weight of this session's transfers in the fluid network's weighted
+  /// max-min fill (1 = classless default; premium classes set it higher to
+  /// take a larger share of contended links).
+  std::uint32_t flow_weight = 1;
+  /// Multiplier on the resolved stall timeout: background sessions scale
+  /// it down (give up sooner, shedding load first under a fault storm),
+  /// premium sessions scale it up (more patient).  1.0 leaves the resolved
+  /// timeout bit-identical to the unscaled value.
+  double stall_timeout_scale = 1.0;
 };
 
 /// Everything measured about one session.
@@ -194,8 +208,14 @@ class Session {
   /// if the session already ended.
   void add_done_callback(DoneCallback callback);
 
+  /// Current delivered rate of the in-flight transfer (0 when idle, done,
+  /// or black-holed) — what a preemption planner can actually reclaim by
+  /// aborting this session right now.
+  [[nodiscard]] Mbps inflight_rate() const;
+
   [[nodiscard]] const SessionMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const db::VideoInfo& video() const { return video_; }
+  [[nodiscard]] UserClass user_class() const { return options_.user_class; }
   [[nodiscard]] NodeId home() const { return home_; }
   [[nodiscard]] std::size_t cluster_count() const {
     return part_sizes_.size();

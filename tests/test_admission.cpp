@@ -90,6 +90,67 @@ TEST(AdmissionController, AdmitComparesAgainstBitrateTimesHeadroom) {
   EXPECT_FALSE(cautious.admit(decision, Mbps{1.5}));
 }
 
+TEST(AdmissionController, ClassedAdmitMatchesPlainAtUnitHeadroom) {
+  Fixture fx;
+  // Default class_headroom is all-ones: the classed overload must agree
+  // with the classless one for every class (the single-class guarantee).
+  const AdmissionController admission{fx.db.limited_view(kAdmin),
+                                      {.required_headroom = 1.0}};
+  vra::Decision decision;
+  decision.served_locally = false;
+  decision.server = fx.g.athens;
+  decision.path = routing::Path{{fx.g.patra, fx.g.athens},
+                                {fx.g.patra_athens}, 0.1};
+  for (const Mbps bitrate : {Mbps{1.5}, Mbps{2.5}}) {
+    const bool plain = admission.admit(decision, bitrate);
+    EXPECT_EQ(plain, admission.admit(decision, bitrate, UserClass::kPremium));
+    EXPECT_EQ(plain, admission.admit(decision, bitrate, UserClass::kStandard));
+    EXPECT_EQ(plain,
+              admission.admit(decision, bitrate, UserClass::kBackground));
+  }
+}
+
+TEST(AdmissionController, ClassHeadroomScalesRequiredRate) {
+  Fixture fx;
+  AdmissionOptions options;
+  options.required_headroom = 1.2;
+  options.class_headroom = {1.0, 1.1, 1.25};
+  const AdmissionController admission{fx.db.limited_view(kAdmin), options};
+  EXPECT_NEAR(admission.required_rate(Mbps{2.0}, UserClass::kPremium).value(),
+              2.4, 1e-9);
+  EXPECT_NEAR(admission.required_rate(Mbps{2.0}, UserClass::kStandard).value(),
+              2.64, 1e-9);
+  EXPECT_NEAR(
+      admission.required_rate(Mbps{2.0}, UserClass::kBackground).value(), 3.0,
+      1e-9);
+}
+
+TEST(AdmissionController, BackgroundNeedsMoreSlackThanPremium) {
+  Fixture fx;  // path residual 1.8 Mbps (see ResidualIsBottleneckFreeBandwidth)
+  AdmissionOptions options;
+  options.required_headroom = 1.0;
+  options.class_headroom = {1.0, 1.1, 1.25};
+  const AdmissionController admission{fx.db.limited_view(kAdmin), options};
+  vra::Decision decision;
+  decision.served_locally = false;
+  decision.server = fx.g.athens;
+  decision.path = routing::Path{{fx.g.patra, fx.g.athens},
+                                {fx.g.patra_athens}, 0.1};
+  // 1.5 Mbps title: premium needs 1.5, background needs 1.875 — only the
+  // premium request fits the 1.8 Mbps residual.
+  EXPECT_TRUE(admission.admit(decision, Mbps{1.5}, UserClass::kPremium));
+  EXPECT_TRUE(admission.admit(decision, Mbps{1.5}, UserClass::kStandard));
+  EXPECT_FALSE(admission.admit(decision, Mbps{1.5}, UserClass::kBackground));
+}
+
+TEST(AdmissionController, ValidatesClassHeadroom) {
+  Fixture fx;
+  AdmissionOptions options;
+  options.class_headroom = {1.0, 0.0, 1.0};
+  EXPECT_THROW(AdmissionController(fx.db.limited_view(kAdmin), options),
+               std::invalid_argument);
+}
+
 TEST(AdmissionController, LocalServingAlwaysAdmitted) {
   Fixture fx;
   const AdmissionController admission{fx.db.limited_view(kAdmin),

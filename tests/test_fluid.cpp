@@ -60,6 +60,49 @@ TEST(FluidNetwork, CappedFlowReleasesShareToOthers) {
   EXPECT_NEAR(network.flow_rate(big).value(), 8.0, 1e-9);
 }
 
+TEST(FluidNetwork, WeightedFlowsSplitByWeight) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId heavy = network.start_flow({line.ab}, Mbps{50.0}, 3);
+  const FlowId light = network.start_flow({line.ab}, Mbps{50.0}, 1);
+  EXPECT_EQ(network.flow_weight(heavy), 3u);
+  EXPECT_EQ(network.flow_weight(light), 1u);
+  EXPECT_NEAR(network.flow_rate(heavy).value(), 7.5, 1e-9);
+  EXPECT_NEAR(network.flow_rate(light).value(), 2.5, 1e-9);
+}
+
+TEST(FluidNetwork, CappedHeavyFlowLendsShareDownward) {
+  // Borrowing: the premium-weighted flow freezes at its cap, so its unused
+  // share spills to the lighter flow instead of going idle.
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId heavy = network.start_flow({line.ab}, Mbps{3.0}, 4);
+  const FlowId light = network.start_flow({line.ab}, Mbps{50.0}, 1);
+  EXPECT_NEAR(network.flow_rate(heavy).value(), 3.0, 1e-9);
+  EXPECT_NEAR(network.flow_rate(light).value(), 7.0, 1e-9);
+}
+
+TEST(FluidNetwork, DefaultWeightMatchesExplicitOne) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  const FlowId implicit = network.start_flow({line.ab}, Mbps{50.0});
+  const FlowId explicit_one = network.start_flow({line.ab}, Mbps{50.0}, 1);
+  EXPECT_EQ(network.flow_weight(implicit), 1u);
+  EXPECT_EQ(network.flow_rate(implicit).value(),
+            network.flow_rate(explicit_one).value());
+}
+
+TEST(FluidNetwork, StartFlowRejectsZeroWeight) {
+  Line line;
+  NoTraffic traffic;
+  FluidNetwork network{line.topo, traffic};
+  EXPECT_THROW(network.start_flow({line.ab}, Mbps{5.0}, 0),
+               std::invalid_argument);
+}
+
 TEST(FluidNetwork, MultiHopFlowLimitedByBottleneck) {
   Line line;
   ConstantTraffic traffic;

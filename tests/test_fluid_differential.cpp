@@ -2,8 +2,11 @@
 // be *bit-identical* to reallocate_reference() — the preserved naive filler —
 // on every observable (flow rates, used_bandwidth, utilization) after every
 // mutation of a random start/stop/cap-edit/link-flap/time-advance script,
-// including the severed-path and kMinFlowRate floor edge cases.  Exact
-// double equality throughout: the determinism gates depend on it.
+// including the severed-path and kMinFlowRate floor edge cases.  Flows are
+// started with random class weights (1..8), so the weighted fill (integer
+// weight sums, delta x weight increments) is exercised against the oracle's
+// per-round recomputation on every seed.  Exact double equality throughout:
+// the determinism gates depend on it.
 #include "net/fluid.h"
 
 #include <gtest/gtest.h>
@@ -112,8 +115,12 @@ TEST_P(FluidDifferential, IndexedAllocatorMatchesReferenceExactly) {
                                fx.links.begin() + last + 1);
   };
   const auto start_one = [&] {
+    // Mixed weights: weight 1 (the classless default) stays common so the
+    // unweighted reduction keeps coverage alongside the weighted one.
+    const auto weight = static_cast<std::uint32_t>(
+        rng.bernoulli(0.4) ? 1 : rng.uniform_int(2, 8));
     live.push_back(network.start_flow(random_path(),
-                                      Mbps{rng.uniform(0.5, 30.0)}));
+                                      Mbps{rng.uniform(0.5, 30.0)}, weight));
   };
   const auto mutate_once = [&] {
     const std::int64_t op = rng.uniform_int(0, 5);

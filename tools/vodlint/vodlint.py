@@ -53,8 +53,11 @@ keeps module APIs honest:
                     monotonically and churn by the million, so the per-id
                     stores must use the dense SlotMap (DESIGN.md §12);
                     a node-based container there pays pointer chasing and
-                    per-entry allocation on every event.  Small, pruned,
-                    or compound-keyed maps can be waived with
+                    per-entry allocation on every event.  Also flags
+                    std::set/multiset<NodeId> in src/service (the failover
+                    hot path probes such sets per notification; a sorted
+                    vector is strictly better at these sizes).  Small,
+                    pruned, or compound-keyed maps can be waived with
                     // vodlint:dense-ok(<reason>).
 
 Usage:
@@ -401,6 +404,12 @@ NODE_MAP_BY_ID = re.compile(
     r"std\s*::\s*(?:map|set|multimap|multiset)\s*<\s*"
     r"(?:\w+\s*::\s*)*(SessionId|FlowId)\b"
 )
+# std::set<NodeId> on the service's failover hot path: membership probes
+# per fault notification want a sorted vector, not a node-based tree.
+NODE_SET_OF_NODES = re.compile(
+    r"std\s*::\s*(?:set|multiset)\s*<\s*(?:\w+\s*::\s*)*NodeId\b"
+)
+NODE_SET_DIRS = ("src/service/",)
 
 
 def check_dense_store(
@@ -409,24 +418,29 @@ def check_dense_store(
     norm = path.replace(os.sep, "/")
     if not any(fragment in norm for fragment in DENSE_STORE_DIRS):
         return []
+    node_set_applies = any(fragment in norm for fragment in NODE_SET_DIRS)
     out = []
     for i, line in enumerate(stripped):
         m = NODE_MAP_BY_ID.search(line)
-        if not m:
-            continue
-        if has_waiver(raw, i, WAIVERS["dense-store"]):
-            continue
-        out.append(
-            Violation(
-                path,
-                i + 1,
-                "dense-store",
+        if m is not None:
+            message = (
                 f"node-based container keyed by {m.group(1)} in a hot-path "
                 "directory; ids are monotonic and churn at scale — use "
                 "SlotMap (common/slot_map.h) or waive with "
-                "// vodlint:dense-ok(<reason>)",
+                "// vodlint:dense-ok(<reason>)"
             )
-        )
+        elif node_set_applies and NODE_SET_OF_NODES.search(line):
+            message = (
+                "std::set<NodeId> in src/service; the failover hot path "
+                "probes it per notification — use a sorted "
+                "std::vector<NodeId> with binary search, or waive with "
+                "// vodlint:dense-ok(<reason>)"
+            )
+        else:
+            continue
+        if has_waiver(raw, i, WAIVERS["dense-store"]):
+            continue
+        out.append(Violation(path, i + 1, "dense-store", message))
     return out
 
 
@@ -623,7 +637,8 @@ FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
     ),
     (
         "node-based per-id stores flagged in hot-path dirs only; compound "
-        "keys and other id types pass; waiver honoured",
+        "keys pass; NodeId sets flagged in src/service only; waiver "
+        "honoured",
         {
             "src/service/store.h": (
                 "#include <map>\n"
@@ -635,11 +650,13 @@ FIXTURES: list[tuple[str, dict[str, str], list[tuple[str, int]]]] = [
                 "  std::map<SessionId, int> waived_;\n"
                 "  std::map<std::pair<NodeId, VideoId>, int> batches_;\n"
                 "  std::set<NodeId> crashed_;\n"
+                "  std::map<NodeId, int> servers_;\n"
                 "};\n"
             ),
+            "src/net/peers.h": "std::set<NodeId> peers_;\n",
             "src/db/catalog.h": "std::map<SessionId, int> offline_ok_;\n",
         },
-        [("dense-store", 4), ("dense-store", 5)],
+        [("dense-store", 4), ("dense-store", 5), ("dense-store", 9)],
     ),
     (
         "violations inside comments and strings are ignored",
