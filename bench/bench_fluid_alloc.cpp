@@ -8,7 +8,8 @@
 // sweep speedup at 10k flows.  Exits non-zero when equality or a floor
 // fails, so scripts/ci.sh can use it as the perf tier.
 //
-// Usage: bench_fluid_alloc [--out PATH]   (default: BENCH_fluid.json)
+// Usage: bench_fluid_alloc [--out PATH] [--threads N]
+//   (default: BENCH_fluid.json, serial)
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "net/fluid.h"
@@ -26,6 +28,8 @@ using namespace vod;
 
 namespace {
 
+// vodlint:entropy-ok(benchmark harness measures real elapsed time; timings
+// are reported, never fed back into simulation state)
 using Clock = std::chrono::steady_clock;
 
 double median(std::vector<double> xs) {
@@ -235,10 +239,20 @@ int main(int argc, char** argv) {
   // tracing overhead at 1k/10k flows (EXPERIMENTS.md quotes it).
   bench::ObsScope obs{argc, argv};
   std::string out_path = "BENCH_fluid.json";
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string{argv[i]} == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::string{argv[i]} == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
     }
+  }
+  // --threads N runs the allocator's ParallelFor pilot kernels forked (the
+  // grain drops to 1 so even the 132-link loops split); the bit-identical
+  // and speedup-floor gates below must hold unchanged, which is exactly
+  // the determinism contract the parallel path promises.
+  if (threads > 1) {
+    set_parallel_config({.workers = threads, .min_fork_items = 1});
   }
 
   bench::heading(

@@ -22,6 +22,8 @@ using namespace vod;
 
 namespace {
 
+// vodlint:allow(shared-mutable-global: single-threaded bench harness exit
+// code accumulator; no simulation code runs concurrently with it)
 int failures = 0;
 
 void check(bool ok, const std::string& what) {

@@ -194,6 +194,8 @@ RunResult run(Policy which) {
 // --scale-gate: the million-session store benchmark.
 // ---------------------------------------------------------------------
 
+// vodlint:entropy-ok(benchmark harness measures real elapsed time; timings
+// are reported, never fed back into simulation state)
 using Clock = std::chrono::steady_clock;
 
 /// Stand-in for a live stream::Session in the store-op replay: heap/pool

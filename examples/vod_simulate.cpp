@@ -29,6 +29,8 @@ namespace {
 std::string read_file(const std::string& path) {
   std::ifstream in{path};
   if (!in) {
+    // vodlint:throw-ok(CLI input error, not a library contract; main()
+    // catches and prints it)
     throw std::invalid_argument("cannot open " + path);
   }
   std::ostringstream buffer;

@@ -17,7 +17,13 @@ fi
 
 echo "== vodlint =="
 python3 tools/vodlint/vodlint.py --self-test
-python3 tools/vodlint/vodlint.py --root . src
+# The race-surface rules (v2) scan the bench/example/tool sources too:
+# anything the parallel migration could touch.  The report lands in build/
+# for EXPERIMENTS.md-style baseline counts; fixture files are excluded from
+# the walk and exercised by their own --expect ctest entries.
+mkdir -p build
+python3 tools/vodlint/vodlint.py --root . \
+  --report build/vodlint_report.json src bench examples tools
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="

@@ -60,6 +60,14 @@ echo "==== perf gate (fluid allocator) ===="
 # to the reference filler; emits the machine-readable BENCH_fluid.json.
 build/bench/bench_fluid_alloc --out build/BENCH_fluid.json
 
+echo "==== perf gate (parallel pilot) ===="
+# The ParallelFor pilot forked at 2 workers must hold the same floors and
+# stay bit-identical to the reference — thread count is a performance knob,
+# never a semantic one (DESIGN.md §14).
+build/bench/bench_fluid_alloc --threads 2 --out build/BENCH_fluid_t2.json
+build/bench/bench_vra_incremental --threads 2 \
+  > build/BENCH_vra_threads.out
+
 echo "==== perf gate (session store) ===="
 # >=5x ns/event over the pre-PR never-erased std::map store at 100k
 # concurrent sessions, and flat resident memory across real-service churn
@@ -78,10 +86,15 @@ build/bench/bench_qos --qos-gate --out build/BENCH_qos.json
 if echo 'int main(){}' | \
     c++ -fsanitize=thread -x c++ - -o /tmp/ci_tsan_probe 2>/dev/null; then
   rm -f /tmp/ci_tsan_probe
-  echo "==== ThreadSanitizer ===="
+  echo "==== ThreadSanitizer (parallel pilot) ===="
+  # The Parallel* suites fork real worker threads at widths 1/2/8 over the
+  # fluid filler, the VRA evaluation and a full seeded-storm service run —
+  # the code TSan has something to say about.  The rest of the tree is
+  # serial by construction (vodlint [raw-thread] enforces the doorway) and
+  # is already covered by the ASan/UBSan full-suite pass above.
   cmake --preset tsan
-  cmake --build --preset tsan -j "$(nproc)"
-  ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
+  cmake --build --preset tsan -j "$(nproc)" --target test_parallel
+  ctest --test-dir build-tsan --output-on-failure -R 'Parallel'
 else
   echo "==== TSan unsupported by this toolchain; skipping ===="
 fi

@@ -32,6 +32,9 @@ enum class LogLevel {
 class Logger {
  public:
   static Logger& instance() {
+    // vodlint:allow(shared-mutable-global: configured once at startup; the
+    // level read is a single enum load and log emission is test/CLI-side,
+    // never inside a parallel region)
     static Logger logger;
     return logger;
   }

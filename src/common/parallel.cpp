@@ -1,0 +1,177 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contract.h"
+
+namespace vod {
+namespace {
+
+/// Fixed-width fork-join pool.  Worker i owns chunk i + 1 of every job
+/// (chunk 0 runs on the submitting thread), so dispatch is a generation
+/// bump + wakeup with no queue and no stealing — which OS thread runs a
+/// chunk is fixed by construction, and the chunks themselves are pure index
+/// arithmetic, so scheduling can never leak into results.
+class ForkJoinPool {
+ public:
+  explicit ForkJoinPool(std::size_t workers) {
+    threads_.reserve(workers - 1);
+    for (std::size_t i = 0; i + 1 < workers; ++i) {
+      threads_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
+
+  ~ForkJoinPool() {
+    {
+      const std::lock_guard<std::mutex> hold(mu_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void run(std::size_t chunks, parallel_detail::ChunkFn fn, void* ctx) {
+    {
+      const std::lock_guard<std::mutex> hold(mu_);
+      fn_ = fn;
+      ctx_ = ctx;
+      chunks_ = chunks;
+      remaining_ = chunks - 1;
+      ++generation_;
+    }
+    if (chunks > 1) work_ready_.notify_all();
+    fn(ctx, 0);
+    std::unique_lock<std::mutex> hold(mu_);
+    job_done_.wait(hold, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  void worker_loop(std::size_t index) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      parallel_detail::ChunkFn fn = nullptr;
+      void* ctx = nullptr;
+      bool assigned = false;
+      {
+        std::unique_lock<std::mutex> hold(mu_);
+        work_ready_.wait(hold,
+                         [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        if (index + 1 < chunks_) {
+          fn = fn_;
+          ctx = ctx_;
+          assigned = true;
+        }
+      }
+      if (!assigned) continue;
+      fn(ctx, index + 1);
+      bool last = false;
+      {
+        const std::lock_guard<std::mutex> hold(mu_);
+        last = --remaining_ == 0;
+      }
+      if (last) job_done_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable job_done_;
+  std::vector<std::thread> threads_;  // vodlint:allow(raw-thread: the pool IS src/common/parallel)
+  parallel_detail::ChunkFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t chunks_ = 0;
+  std::size_t remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide runtime.  The atomics let the hot serial check (workers == 1
+/// -> run inline) cost two relaxed loads and no lock; the pool pointer is
+/// published with release/acquire ordering through `workers_`.  Reconfiguring
+/// while a region is in flight is excluded by the set_parallel_config
+/// contract, not by locking.
+struct Runtime {
+  std::mutex config_mu;
+  std::unique_ptr<ForkJoinPool> pool;
+  std::atomic<std::size_t> min_fork_items{4096};
+  std::atomic<unsigned> workers{1};
+};
+
+// vodlint:allow(shared-mutable-global: the ParallelFor runtime itself — configured before regions run, synchronized via atomics + pool mutex)
+Runtime& runtime() {
+  // vodlint:allow(shared-mutable-global: single doorway singleton, see above)
+  static Runtime instance;
+  return instance;
+}
+
+}  // namespace
+
+void set_parallel_config(const ParallelConfig& config) {
+  Runtime& rt = runtime();
+  const std::lock_guard<std::mutex> hold(rt.config_mu);
+  std::size_t workers = config.workers == 0 ? 1 : config.workers;
+  workers = std::min(workers, kMaxParallelWorkers);
+  rt.min_fork_items.store(config.min_fork_items == 0 ? 1
+                                                     : config.min_fork_items,
+                          std::memory_order_relaxed);
+  const std::size_t current = rt.workers.load(std::memory_order_relaxed);
+  if (workers == current) return;
+  // Quiesce: no regions are in flight (caller contract), so dropping the
+  // published width to 1 before touching the pool keeps any racing reader
+  // on the serial path.
+  rt.workers.store(1, std::memory_order_release);
+  rt.pool.reset();
+  if (workers > 1) {
+    rt.pool = std::make_unique<ForkJoinPool>(workers);
+  }
+  rt.workers.store(static_cast<unsigned>(workers), std::memory_order_release);
+}
+
+ParallelConfig parallel_config() {
+  Runtime& rt = runtime();
+  ParallelConfig config;
+  config.workers = rt.workers.load(std::memory_order_acquire);
+  config.min_fork_items = rt.min_fork_items.load(std::memory_order_relaxed);
+  return config;
+}
+
+namespace parallel_detail {
+
+bool should_fork(std::size_t n, std::size_t& chunks) {
+  Runtime& rt = runtime();
+  const unsigned workers = rt.workers.load(std::memory_order_acquire);
+  if (workers <= 1 ||
+      n < rt.min_fork_items.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  chunks = std::min<std::size_t>(workers, n);
+  return chunks > 1;
+}
+
+void run_chunks(std::size_t chunks, ChunkFn fn, void* ctx) {
+  require(chunks >= 1, "parallel: run_chunks needs at least one chunk");
+  if (chunks == 1) {
+    fn(ctx, 0);
+    return;
+  }
+  Runtime& rt = runtime();
+  ForkJoinPool* pool = rt.pool.get();
+  require(pool != nullptr,
+      "parallel: run_chunks with multiple chunks but no pool configured");
+  pool->run(chunks, fn, ctx);
+}
+
+}  // namespace parallel_detail
+
+}  // namespace vod

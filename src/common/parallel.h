@@ -1,0 +1,155 @@
+// Deterministic fork-join parallelism (the "ParallelFor" pilot kernel).
+//
+// The repo's reproducibility guarantee (DESIGN.md §9) is that every run is a
+// bit-identical function of its seeds — a guarantee most thread pools break
+// instantly through nondeterministic work stealing and unordered floating-
+// point reductions.  This runtime is the disciplined alternative that the
+// parallel-readiness analyzer (vodlint v2, DESIGN.md §14) gates the rest of
+// the migration on:
+//
+//   * Fixed worker count from configuration (set_parallel_config), never
+//     from the machine: results must not depend on where the binary runs.
+//   * Static chunking: [0, n) splits into exactly `chunks` contiguous
+//     ranges by pure index arithmetic.  Which OS thread executes a chunk is
+//     irrelevant — every chunk writes only chunk-owned state.
+//   * Merges in chunk-index order, and only exact-associative reductions
+//     (min/max, integer sums).  Floating-point *additions* must not be
+//     reduced across chunks unless the serial code sums per-chunk too.
+//   * Serial default (workers == 1): the body runs inline on the calling
+//     thread over the whole range — byte-identical to the pre-parallel
+//     code, and the ten paper benches are frozen against exactly that.
+//
+// Contract for bodies (checked by vodlint's [parallel-region-write] rule —
+// annotate call sites with `// vodlint: parallel-region`):
+//   * A body may read any shared state that is not mutated during the
+//     region, and may write only state indexed by the elements it owns.
+//   * No allocation-free-threading hazards: bodies must not touch lazily
+//     built mutable caches (e.g. FluidNetwork::background()'s per-instant
+//     cache) — prefetch them serially before forking.
+//   * Bodies must not throw: a worker thread has nowhere to propagate.
+//
+// Direct std::thread / std::async use anywhere else in the tree is a
+// vodlint [raw-thread] violation; this header is the single doorway.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace vod {
+
+/// Hard ceiling on configured workers (static partial-result buffers in the
+/// reduce helpers are sized by it; far above any sane shard count).
+inline constexpr std::size_t kMaxParallelWorkers = 64;
+
+struct ParallelConfig {
+  /// Fork-join width.  1 (the default) runs everything inline/serial; the
+  /// value is a *configuration* input, deliberately never derived from the
+  /// hardware, so a replay on any machine partitions work identically.
+  unsigned workers = 1;
+  /// Ranges smaller than this run inline even when workers > 1: forking a
+  /// handful of items costs more than it wins, and the serial path is
+  /// always bit-identical anyway.  Tests drop it to 1 to force real forks
+  /// on tiny fixtures.
+  std::size_t min_fork_items = 4096;
+};
+
+/// Installs the process-wide configuration.  Must not be called while a
+/// parallel region is in flight (single-threaded orchestration only —
+/// simulation setup, bench flag parsing, test fixtures).  Worker counts are
+/// clamped to [1, kMaxParallelWorkers]; shrinking to 1 joins and destroys
+/// the pool.
+void set_parallel_config(const ParallelConfig& config);
+
+[[nodiscard]] ParallelConfig parallel_config();
+
+namespace parallel_detail {
+
+using ChunkFn = void (*)(void* ctx, std::size_t chunk);
+
+/// Executes fn(ctx, c) for c in [0, chunks) across the configured pool
+/// (chunk 0 on the calling thread) and joins.  chunks must be >= 1 and
+/// <= configured workers.
+void run_chunks(std::size_t chunks, ChunkFn fn, void* ctx);
+
+/// Static chunk boundary: pure index arithmetic, so the partition depends
+/// only on (n, chunks) — never on scheduling.
+inline std::size_t chunk_bound(std::size_t n, std::size_t chunks,
+                               std::size_t c) {
+  return n / chunks * c + std::min(c, n % chunks);
+}
+
+/// True when a range of `n` items should fork under the current config;
+/// fills `chunks` with the partition width.
+bool should_fork(std::size_t n, std::size_t& chunks);
+
+}  // namespace parallel_detail
+
+/// Deterministic fork-join map: body(begin, end) over contiguous chunks
+/// covering [0, n).  Serial (one inline body(0, n) call) when workers == 1
+/// or n < min_fork_items; the parallel split is pure index arithmetic, so
+/// any body honouring the ownership contract above produces bit-identical
+/// state at every worker count.
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body) {
+  if (n == 0) return;
+  std::size_t chunks = 1;
+  if (!parallel_detail::should_fork(n, chunks)) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  struct Ctx {
+    Body* body;
+    std::size_t n;
+    std::size_t chunks;
+  } ctx{&body, n, chunks};
+  parallel_detail::run_chunks(
+      chunks,
+      [](void* opaque, std::size_t c) {
+        auto* context = static_cast<Ctx*>(opaque);
+        const std::size_t begin =
+            parallel_detail::chunk_bound(context->n, context->chunks, c);
+        const std::size_t end =
+            parallel_detail::chunk_bound(context->n, context->chunks, c + 1);
+        (*context->body)(begin, end);
+      },
+      &ctx);
+}
+
+/// Deterministic min-reduction: chunk_min(begin, end, init) -> double runs
+/// per chunk; partials merge with std::min in chunk-index order.  min is
+/// exact on doubles, so the result is bit-identical to the serial
+/// chunk_min(0, n, init) at every worker count.
+template <typename ChunkMin>
+double parallel_min(std::size_t n, double init, ChunkMin&& chunk_min) {
+  if (n == 0) return init;
+  std::size_t chunks = 1;
+  if (!parallel_detail::should_fork(n, chunks)) {
+    return chunk_min(std::size_t{0}, n, init);
+  }
+  double partial[kMaxParallelWorkers];
+  struct Ctx {
+    ChunkMin* chunk_min;
+    double* partial;
+    double init;
+    std::size_t n;
+    std::size_t chunks;
+  } ctx{&chunk_min, partial, init, n, chunks};
+  parallel_detail::run_chunks(
+      chunks,
+      [](void* opaque, std::size_t c) {
+        auto* context = static_cast<Ctx*>(opaque);
+        const std::size_t begin =
+            parallel_detail::chunk_bound(context->n, context->chunks, c);
+        const std::size_t end =
+            parallel_detail::chunk_bound(context->n, context->chunks, c + 1);
+        context->partial[c] =
+            (*context->chunk_min)(begin, end, context->init);
+      },
+      &ctx);
+  double out = init;
+  for (std::size_t c = 0; c < chunks; ++c) out = std::min(out, partial[c]);
+  return out;
+}
+
+}  // namespace vod

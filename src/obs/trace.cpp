@@ -9,6 +9,9 @@ namespace vod::obs {
 
 namespace {
 
+// vodlint:allow(shared-mutable-global: trace sink pointer is installed
+// before a run and cleared after; the simulation core only reads it, and
+// recorders are never installed around parallel regions (DESIGN.md §11))
 TraceRecorder* g_sink = nullptr;
 
 /// JSON string escaping for names/arg values (control chars, quote,

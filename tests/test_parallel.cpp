@@ -1,0 +1,339 @@
+// Deterministic ParallelFor pilot: the thread count is a performance knob,
+// never a semantic one (DESIGN.md §9/§14).  These tests force real forking
+// on tiny inputs (min_fork_items = 1) and assert bit-identical results at
+// 1, 2 and 8 workers for the runtime primitives, the fluid progressive-fill
+// pilot, the per-candidate VRA evaluation pilot, and a full seeded-storm
+// service run.  They are also the workload the TSan CI tier drives
+// (scripts/ci.sh --tsan runs ctest -R 'Parallel').
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/fault_injector.h"
+#include "grnet/grnet.h"
+#include "net/fluid.h"
+#include "net/traffic.h"
+#include "service/report.h"
+#include "service/vod_service.h"
+#include "vra/vra.h"
+#include "workload/request_gen.h"
+
+namespace vod {
+namespace {
+
+/// Installs a worker count with forking forced on any range size, and
+/// restores the serial default on scope exit so tests cannot leak
+/// configuration into each other.
+class ParallelGuard {
+ public:
+  explicit ParallelGuard(unsigned workers) {
+    set_parallel_config({.workers = workers, .min_fork_items = 1});
+  }
+  ParallelGuard(const ParallelGuard&) = delete;
+  ParallelGuard& operator=(const ParallelGuard&) = delete;
+  ~ParallelGuard() { set_parallel_config({}); }
+};
+
+const unsigned kWidths[] = {1, 2, 8};
+
+// -----------------------------------------------------------------------
+// Runtime primitives
+// -----------------------------------------------------------------------
+
+TEST(ParallelRuntime, ChunkBoundsPartitionExactly) {
+  using parallel_detail::chunk_bound;
+  for (std::size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 8u}) {
+      EXPECT_EQ(chunk_bound(n, chunks, 0), 0u);
+      EXPECT_EQ(chunk_bound(n, chunks, chunks), n);
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = chunk_bound(n, chunks, c);
+        const std::size_t end = chunk_bound(n, chunks, c + 1);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(ParallelRuntime, ConfigClampsAndDefaults) {
+  set_parallel_config({.workers = 0, .min_fork_items = 0});
+  EXPECT_EQ(parallel_config().workers, 1u);
+  EXPECT_EQ(parallel_config().min_fork_items, 1u);
+  set_parallel_config({});
+  EXPECT_EQ(parallel_config().workers, 1u);
+  EXPECT_EQ(parallel_config().min_fork_items, 4096u);
+}
+
+TEST(ParallelRuntime, ForCoversEveryIndexOnce) {
+  for (unsigned width : kWidths) {
+    ParallelGuard guard{width};
+    std::vector<int> hits(1237, 0);
+    // vodlint: parallel-region
+    parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " at width " << width;
+    }
+  }
+}
+
+TEST(ParallelRuntime, ForBelowGrainRunsInline) {
+  set_parallel_config({.workers = 8, .min_fork_items = 1000});
+  std::vector<int> hits(10, 0);
+  parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, hits.size());
+    for (std::size_t i = begin; i < end; ++i) hits[i] += 1;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  set_parallel_config({});
+}
+
+TEST(ParallelRuntime, MinIsBitIdenticalAcrossWidths) {
+  Rng rng{20260808};
+  std::vector<double> values(4099);
+  for (double& v : values) v = rng.uniform(-1e9, 1e9);
+  std::optional<double> serial;
+  for (unsigned width : kWidths) {
+    ParallelGuard guard{width};
+    const double got = parallel_min(
+        values.size(), 1e300,
+        [&](std::size_t begin, std::size_t end, double init) {
+          double m = init;
+          for (std::size_t i = begin; i < end; ++i) m = std::min(m, values[i]);
+          return m;
+        });
+    if (!serial.has_value()) {
+      serial = got;
+    } else {
+      EXPECT_EQ(got, *serial) << "width " << width;
+    }
+  }
+}
+
+TEST(ParallelRuntime, EmptyRangeNeverInvokesBody) {
+  ParallelGuard guard{8};
+  parallel_for(0, [](std::size_t, std::size_t) { FAIL(); });
+  EXPECT_EQ(parallel_min(0, 42.0,
+                         [](std::size_t, std::size_t, double) {
+                           ADD_FAILURE();
+                           return 0.0;
+                         }),
+            42.0);
+}
+
+// -----------------------------------------------------------------------
+// Fluid progressive-fill pilot
+// -----------------------------------------------------------------------
+
+/// A randomized 24-node line with 600 flows over contiguous sub-paths:
+/// enough contention that the progressive filling runs many freeze rounds.
+std::vector<double> fluid_rates(unsigned workers) {
+  ParallelGuard guard{workers};
+  net::Topology topo;
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  Rng rng{777};
+  for (int n = 0; n < 24; ++n) {
+    std::ostringstream name;
+    name << "n" << n;
+    nodes.push_back(topo.add_node(name.str()));
+  }
+  for (std::size_t n = 0; n + 1 < nodes.size(); ++n) {
+    links.push_back(topo.add_link(nodes[n], nodes[n + 1],
+                                  Mbps{rng.uniform(20.0, 120.0)}));
+  }
+  net::NoTraffic traffic;
+  net::FluidNetwork network{topo, traffic};
+  network.set_check_against_reference(true);  // oracle cross-check per pass
+  std::vector<FlowId> flows;
+  {
+    auto batch = network.defer_reallocate();
+    for (int f = 0; f < 600; ++f) {
+      const auto first = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(links.size()) - 1));
+      const auto span = static_cast<std::size_t>(rng.uniform_int(1, 6));
+      std::vector<LinkId> path;
+      for (std::size_t l = first; l < std::min(first + span, links.size());
+           ++l) {
+        path.push_back(links[l]);
+      }
+      flows.push_back(network.start_flow(
+          std::move(path), Mbps{rng.uniform(0.5, 30.0)},
+          static_cast<std::uint32_t>(rng.uniform_int(1, 4))));
+    }
+  }
+  std::vector<double> rates;
+  rates.reserve(flows.size());
+  for (const FlowId flow : flows) {
+    rates.push_back(network.flow_rate(flow).value());
+  }
+  return rates;
+}
+
+TEST(ParallelFluid, RatesBitIdenticalAcrossWidths) {
+  const std::vector<double> serial = fluid_rates(1);
+  for (unsigned width : kWidths) {
+    const std::vector<double> got = fluid_rates(width);
+    ASSERT_EQ(got.size(), serial.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], serial[i])
+          << "flow " << i << " diverged at width " << width;
+    }
+  }
+}
+
+// -----------------------------------------------------------------------
+// VRA per-candidate evaluation pilot
+// -----------------------------------------------------------------------
+
+const db::AdminCredential kAdmin{"parallel-admin"};
+
+struct CaseFixture {
+  grnet::CaseStudy g = grnet::build_case_study();
+  db::Database db{kAdmin};
+  VideoId movie;
+
+  CaseFixture() {
+    for (std::size_t n = 0; n < g.topology.node_count(); ++n) {
+      const NodeId node{static_cast<NodeId::underlying_type>(n)};
+      db.register_server(node, g.topology.node_name(node), {});
+    }
+    for (const net::LinkInfo& info : g.topology.links()) {
+      db.register_link(info.id, info.name, info.capacity);
+    }
+    movie = db.register_video("movie", MegaBytes{900.0}, Mbps{2.0});
+    auto view = db.limited_view(kAdmin);
+    for (const LinkId link : g.links_in_paper_order()) {
+      const grnet::LinkSample sample =
+          grnet::table2_sample(g, link, grnet::TimeOfDay::k4pm);
+      view.update_link_stats(link, sample.used, sample.utilization,
+                             grnet::time_of(grnet::TimeOfDay::k4pm));
+    }
+  }
+};
+
+std::string decision_digest(const std::optional<vra::Decision>& decision) {
+  std::ostringstream out;
+  if (!decision.has_value()) return "none";
+  out << decision->server << ' ' << decision->served_locally << ' '
+      << decision->degraded << ' ' << decision->path.cost << '\n';
+  for (const vra::Candidate& c : decision->candidates) {
+    out << c.server << ' ' << c.path.cost << ':';
+    for (const NodeId node : c.path.nodes) out << ' ' << node;
+    out << '\n';
+  }
+  return out.str();
+}
+
+TEST(ParallelVra, SelectServerIdenticalAcrossWidths) {
+  CaseFixture fx;
+  auto view = fx.db.limited_view(kAdmin);
+  view.add_title(fx.g.ioannina, fx.movie);
+  view.add_title(fx.g.thessaloniki, fx.movie);
+  view.add_title(fx.g.xanthi, fx.movie);
+  vra::Vra vra{fx.g.topology, fx.db.full_view(), fx.db.limited_view(kAdmin),
+               {}};
+  std::optional<std::string> serial;
+  for (unsigned width : kWidths) {
+    ParallelGuard guard{width};
+    const std::string digest =
+        decision_digest(vra.select_server(fx.g.athens, fx.movie));
+    if (!serial.has_value()) {
+      serial = digest;
+    } else {
+      EXPECT_EQ(digest, *serial) << "width " << width;
+    }
+  }
+}
+
+// -----------------------------------------------------------------------
+// Whole-service seeded-storm digest
+// -----------------------------------------------------------------------
+
+/// Compact cousin of test_determinism's run_scenario: eight simulated hours
+/// of diurnal load on the GRNET case study under a seeded fault storm.  The
+/// digest captures everything a run externalizes; any thread-count leak
+/// into allocation order, SNMP sweeps or retry timing shows up here.
+std::string storm_digest(unsigned workers) {
+  ParallelGuard guard{workers};
+  grnet::CaseStudy g = grnet::build_case_study();
+  net::DiurnalTraffic traffic{20.0};
+  for (const net::LinkInfo& info : g.topology.links()) {
+    traffic.set_shape(info.id, {.capacity = info.capacity,
+                                .base_fraction = 0.05,
+                                .peak_fraction = 0.4});
+  }
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{10.0};
+  options.snmp_interval_seconds = 90.0;
+  options.session.stall_timeout_seconds = 600.0;
+  options.dma.admission_threshold = 1'000'000;  // routing only
+  service::VodService service{sim, g.topology, network, options, kAdmin};
+
+  std::vector<VideoId> videos;
+  videos.push_back(service.add_video("alpha", MegaBytes{60.0}, Mbps{1.5}));
+  videos.push_back(service.add_video("beta", MegaBytes{90.0}, Mbps{2.0}));
+  for (std::size_t v = 0; v < videos.size(); ++v) {
+    service.place_initial_copy(g.thessaloniki, videos[v]);
+    service.place_initial_copy(v % 2 == 0 ? g.xanthi : g.ioannina, videos[v]);
+  }
+  service.start();
+
+  std::vector<NodeId> homes{g.patra, g.ioannina, g.xanthi};
+  workload::RequestGenerator gen{videos, 1.0, homes};
+  Rng rng{424242};
+  const auto requests = gen.generate_diurnal(
+      SimTime{0.0}, Duration{28800.0}, 40.0 / 28800.0, 20.0, 3.0, rng);
+  for (const workload::Request& request : requests) {
+    sim.schedule_at(request.at, [&service, request](SimTime) {
+      (void)service.request_at(request.home, request.video);
+    });
+  }
+
+  fault::FaultInjector injector{sim, service};
+  fault::FaultScheduleOptions storm;
+  storm.horizon_seconds = 28800.0;
+  storm.link_mtbf_seconds = 7200.0;
+  storm.link_mttr_seconds = 1200.0;
+  storm.server_mtbf_seconds = 14400.0;
+  storm.server_mttr_seconds = 1800.0;
+  injector.schedule_random(storm, 424243);
+
+  sim.run_until(from_hours(12.0));
+
+  std::ostringstream out;
+  out << service::report_sessions_csv(service);
+  out << service::format_resilience_report(
+      service::build_resilience_report(service, Mbps{0.0}));
+  for (const fault::FaultRecord& record : injector.trace()) {
+    out << record.at << ' ' << fault::to_string(record.kind) << ' '
+        << record.target << ' ' << record.detail << '\n';
+  }
+  return out.str();
+}
+
+TEST(ParallelDeterminism, SeededStormDigestIdenticalAcrossWidths) {
+  const std::string serial = storm_digest(1);
+  EXPECT_FALSE(serial.empty());
+  for (unsigned width : kWidths) {
+    EXPECT_EQ(storm_digest(width), serial) << "width " << width;
+  }
+}
+
+}  // namespace
+}  // namespace vod

@@ -1,0 +1,33 @@
+// vodlint fixture: [lock-order].  Lint-only — never compiled (the mutexes
+// are deliberately undeclared; vodlint reads text, not symbols).
+// The ctest entry asserts --expect lock-order=1 over this file.
+#include <mutex>
+
+namespace fixture {
+
+void forward() {
+  std::lock_guard<std::mutex> first(mu_a);
+  std::lock_guard<std::mutex> second(mu_b);  // establishes mu_a -> mu_b
+}
+
+void backward() {
+  std::lock_guard<std::mutex> first(mu_b);
+  std::lock_guard<std::mutex> second(mu_a);  // expected: opposite order
+}
+
+void both_at_once() {
+  std::scoped_lock both(mu_a, mu_b);  // atomic multi-acquire: clean
+}
+
+void config_forward() {
+  std::unique_lock<std::mutex> first(mu_c);
+  std::unique_lock<std::mutex> second(mu_d);
+}
+
+void config_backward() {
+  std::unique_lock<std::mutex> first(mu_d);
+  // vodlint:allow(lock-order: fixture demonstrates suppression)
+  std::unique_lock<std::mutex> second(mu_c);  // suppressed, not counted
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// vodlint fixture: [parallel-region-write].  Lint-only — never compiled.
+// The ctest entry asserts --expect parallel-region-write=2 (plus
+// shared-mutable-global=1 for the global the region races on).
+#include <cstddef>
+
+namespace fixture {
+
+struct Cache {
+  mutable long hits_ = 0;  // indexed as shared state, not flagged here
+};
+
+long total_work = 0;  // expected: [shared-mutable-global]
+
+void sweep(Cache& cache, double* out, std::size_t n) {
+  // vodlint: parallel-region
+  parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = 2.0;         // chunk-owned slot: clean
+      cache.hits_ += 1;     // expected: mutable-member write in region
+      total_work += 1;      // expected: global write in region
+      // vodlint:allow(parallel-region-write: fixture suppression demo)
+      total_work += 1;      // suppressed: reported but not counted
+    }
+  });
+  cache.hits_ += 1;  // outside the region: clean
+}
+
+}  // namespace fixture

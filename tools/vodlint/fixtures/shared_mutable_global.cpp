@@ -1,0 +1,19 @@
+// vodlint fixture: [shared-mutable-global].  Lint-only — never compiled.
+// Directory walks skip tools/vodlint/fixtures/; the ctest entry lints this
+// file explicitly and asserts --expect shared-mutable-global=2.
+namespace fixture {
+
+int bare_counter = 0;  // expected: namespace-scope mutable object
+
+const int kConstant = 3;       // const: clean
+constexpr double kRatio = .5;  // constexpr: clean
+
+int next_id() {
+  static int counter = 0;  // expected: function-local static singleton
+  return ++counter;
+}
+
+// vodlint:allow(shared-mutable-global: fixture demonstrates suppression)
+int waived_counter = 0;  // suppressed: reported but not counted
+
+}  // namespace fixture
