@@ -247,13 +247,12 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     }
   }
-  // --threads N runs the allocator's ParallelFor pilot kernels forked (the
-  // grain drops to 1 so even the 132-link loops split); the bit-identical
-  // and speedup-floor gates below must hold unchanged, which is exactly
-  // the determinism contract the parallel path promises.
-  if (threads > 1) {
-    set_parallel_config({.workers = threads, .min_fork_items = 1});
-  }
+  // --threads N runs the allocator's ParallelFor pilot kernels forked; the
+  // bit-identical and speedup-floor gates below must hold unchanged, which
+  // is exactly the determinism contract the parallel path promises.  The
+  // workers/grain pairing is the shared bench knob (bench::threads_config),
+  // not a per-call-site hard-code.
+  sim::set_simulation_config(bench::threads_config(threads));
 
   bench::heading(
       "Fluid allocator at scale: incidence index vs. naive reference");

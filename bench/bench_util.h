@@ -12,10 +12,26 @@
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
+#include "sim/simulation.h"
 
 namespace vod::bench {
 
 inline const db::AdminCredential kAdmin{"bench-admin"};
+
+/// The one parallelism knob (DESIGN.md §15): `--threads N` maps to this
+/// stepping config instead of every bench hard-coding its own
+/// min_fork_items.  N > 1 drops the fork grain to 1 so even paper-sized
+/// inner loops actually fork (production keeps ParallelConfig's 4096
+/// serial-guard default); install with sim::set_simulation_config and
+/// restore the serial default with sim::set_simulation_config({}).
+inline sim::SimulationConfig threads_config(unsigned threads,
+                                            bool epoch_barrier = false) {
+  sim::SimulationConfig config;
+  config.parallel.workers = threads == 0 ? 1 : threads;
+  if (config.parallel.workers > 1) config.parallel.min_fork_items = 1;
+  config.epoch_barrier = epoch_barrier;
+  return config;
+}
 
 /// The case-study database: all six servers, all seven links, one movie,
 /// Table 2 statistics for the chosen instant.

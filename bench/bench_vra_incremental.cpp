@@ -251,12 +251,11 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     }
   }
-  // --threads N forks the per-candidate path evaluation (grain 1 so the
-  // handful of holders actually splits); decision parity and the 5x cache
-  // floor must hold unchanged.
-  if (threads > 1) {
-    vod::set_parallel_config({.workers = threads, .min_fork_items = 1});
-  }
+  // --threads N forks the per-candidate path evaluation; decision parity
+  // and the 5x cache floor must hold unchanged.  The workers/grain pairing
+  // comes from the shared bench knob (bench::threads_config), not a
+  // per-call-site hard-code.
+  vod::sim::set_simulation_config(vod::bench::threads_config(threads));
 
   bench::heading("Incremental LVN engine: cached vs. cold-rebuild VRA");
 

@@ -68,11 +68,18 @@ build/bench/bench_fluid_alloc --threads 2 --out build/BENCH_fluid_t2.json
 build/bench/bench_vra_incremental --threads 2 \
   > build/BENCH_vra_threads.out
 
-echo "==== perf gate (session store) ===="
+echo "==== perf gate (session store + epoch core) ===="
 # >=5x ns/event over the pre-PR never-erased std::map store at 100k
-# concurrent sessions, and flat resident memory across real-service churn
-# waves; emits BENCH_scale.json.
+# concurrent sessions, flat resident memory across real-service churn
+# waves, and >=1.3x session-steps/sec for epoch-barrier sharded stepping
+# over the serial per-event path; emits BENCH_scale.json.
 build/bench/bench_scale --scale-gate --out build/BENCH_scale.json
+# Re-gate with 2 workers: every floor must re-hold and both store and
+# epoch checksums must stay identical — thread count is a performance
+# knob, never a semantic one (DESIGN.md §15).  The thread dimension lands
+# in the JSON.
+build/bench/bench_scale --scale-gate --threads 2 \
+  --out build/BENCH_scale_t2.json
 
 echo "==== qos gate (tiered classes under storm) ===="
 # Seeded fault storm at >=90% bottleneck utilization: premium availability
@@ -86,12 +93,13 @@ build/bench/bench_qos --qos-gate --out build/BENCH_qos.json
 if echo 'int main(){}' | \
     c++ -fsanitize=thread -x c++ - -o /tmp/ci_tsan_probe 2>/dev/null; then
   rm -f /tmp/ci_tsan_probe
-  echo "==== ThreadSanitizer (parallel pilot) ===="
+  echo "==== ThreadSanitizer (parallel + epoch core) ===="
   # The Parallel* suites fork real worker threads at widths 1/2/8 over the
-  # fluid filler, the VRA evaluation and a full seeded-storm service run —
-  # the code TSan has something to say about.  The rest of the tree is
-  # serial by construction (vodlint [raw-thread] enforces the doorway) and
-  # is already covered by the ASan/UBSan full-suite pass above.
+  # fluid filler, the VRA evaluation, the epoch-barrier sharded stepping
+  # core (ParallelEpoch*) and full seeded-storm service runs — the code
+  # TSan has something to say about.  The rest of the tree is serial by
+  # construction (vodlint [raw-thread] enforces the doorway) and is
+  # already covered by the ASan/UBSan full-suite pass above.
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)" --target test_parallel
   ctest --test-dir build-tsan --output-on-failure -R 'Parallel'

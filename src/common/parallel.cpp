@@ -106,6 +106,11 @@ struct Runtime {
   std::unique_ptr<ForkJoinPool> pool;
   std::atomic<std::size_t> min_fork_items{4096};
   std::atomic<unsigned> workers{1};
+  // Fork/serial decision tallies.  Atomics only so TSan-built binaries that
+  // snapshot them from tests stay clean; every increment happens on the
+  // orchestrating thread, before workers wake.
+  std::atomic<std::uint64_t> forks{0};
+  std::atomic<std::uint64_t> serial_fallback{0};
 };
 
 // vodlint:allow(shared-mutable-global: the ParallelFor runtime itself — configured before regions run, synchronized via atomics + pool mutex)
@@ -146,17 +151,42 @@ ParallelConfig parallel_config() {
   return config;
 }
 
+ParallelStats parallel_stats() {
+  Runtime& rt = runtime();
+  ParallelStats stats;
+  stats.forks = rt.forks.load(std::memory_order_relaxed);
+  stats.serial_fallback = rt.serial_fallback.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void reset_parallel_stats() {
+  Runtime& rt = runtime();
+  rt.forks.store(0, std::memory_order_relaxed);
+  rt.serial_fallback.store(0, std::memory_order_relaxed);
+}
+
 namespace parallel_detail {
 
-bool should_fork(std::size_t n, std::size_t& chunks) {
+bool should_fork_items(std::size_t n, std::size_t items,
+                       std::size_t& chunks) {
   Runtime& rt = runtime();
   const unsigned workers = rt.workers.load(std::memory_order_acquire);
   if (workers <= 1 ||
-      n < rt.min_fork_items.load(std::memory_order_relaxed)) {
+      items < rt.min_fork_items.load(std::memory_order_relaxed)) {
+    rt.serial_fallback.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   chunks = std::min<std::size_t>(workers, n);
-  return chunks > 1;
+  if (chunks <= 1) {
+    rt.serial_fallback.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  rt.forks.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool should_fork(std::size_t n, std::size_t& chunks) {
+  return should_fork_items(n, n, chunks);
 }
 
 void run_chunks(std::size_t chunks, ChunkFn fn, void* ctx) {

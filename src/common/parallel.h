@@ -34,6 +34,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 namespace vod {
@@ -59,9 +60,30 @@ struct ParallelConfig {
 /// simulation setup, bench flag parsing, test fixtures).  Worker counts are
 /// clamped to [1, kMaxParallelWorkers]; shrinking to 1 joins and destroys
 /// the pool.
+///
+/// Call sites should not install ad-hoc configs to tune min_fork_items:
+/// the one knob lives in sim::SimulationConfig (sim/simulation.h), which
+/// benches and tests hand to sim::set_simulation_config so every region in
+/// the process sweeps together.
 void set_parallel_config(const ParallelConfig& config);
 
 [[nodiscard]] ParallelConfig parallel_config();
+
+/// Fork/serial-path decision counters, mirrored into the MetricsRegistry
+/// (parallel.forks / parallel.serial_fallback) so the EXPERIMENTS speedup
+/// tables can confirm the grain threshold actually forks.  Counts are
+/// observe-only — they never feed back into simulation state — and are
+/// bumped only from the orchestrating thread (should_fork runs before any
+/// workers are woken).
+struct ParallelStats {
+  std::uint64_t forks = 0;            // regions dispatched to the pool
+  std::uint64_t serial_fallback = 0;  // regions run inline (width/grain)
+};
+
+[[nodiscard]] ParallelStats parallel_stats();
+
+/// Resets the fork/serial counters to zero (bench section boundaries).
+void reset_parallel_stats();
 
 namespace parallel_detail {
 
@@ -83,6 +105,13 @@ inline std::size_t chunk_bound(std::size_t n, std::size_t chunks,
 /// fills `chunks` with the partition width.
 bool should_fork(std::size_t n, std::size_t& chunks);
 
+/// Fork decision where the grain is measured in `items` but the partition
+/// covers `n` outer slots (the epoch core partitions a fixed shard array
+/// whose shards each carry many events; comparing the shard count against
+/// min_fork_items would starve it).  `chunks` is capped by both the
+/// configured workers and `n`.
+bool should_fork_items(std::size_t n, std::size_t items, std::size_t& chunks);
+
 }  // namespace parallel_detail
 
 /// Deterministic fork-join map: body(begin, end) over contiguous chunks
@@ -95,6 +124,37 @@ void parallel_for(std::size_t n, Body&& body) {
   if (n == 0) return;
   std::size_t chunks = 1;
   if (!parallel_detail::should_fork(n, chunks)) {
+    body(std::size_t{0}, n);
+    return;
+  }
+  struct Ctx {
+    Body* body;
+    std::size_t n;
+    std::size_t chunks;
+  } ctx{&body, n, chunks};
+  parallel_detail::run_chunks(
+      chunks,
+      [](void* opaque, std::size_t c) {
+        auto* context = static_cast<Ctx*>(opaque);
+        const std::size_t begin =
+            parallel_detail::chunk_bound(context->n, context->chunks, c);
+        const std::size_t end =
+            parallel_detail::chunk_bound(context->n, context->chunks, c + 1);
+        (*context->body)(begin, end);
+      },
+      &ctx);
+}
+
+/// parallel_for with the fork decision weighed by `items` instead of `n`:
+/// the partition still splits [0, n) into contiguous chunks, but the grain
+/// test asks whether the *work behind* those slots (e.g. the events behind
+/// n shards) justifies waking the pool.  parallel_for(n, body) is exactly
+/// parallel_for_items(n, n, body).
+template <typename Body>
+void parallel_for_items(std::size_t n, std::size_t items, Body&& body) {
+  if (n == 0) return;
+  std::size_t chunks = 1;
+  if (!parallel_detail::should_fork_items(n, items, chunks)) {
     body(std::size_t{0}, n);
     return;
   }

@@ -7,6 +7,7 @@
 
 #include "common/contract.h"
 #include "common/log.h"
+#include "common/parallel.h"
 #include "obs/trace.h"
 
 namespace vod::service {
@@ -73,6 +74,15 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
     snap.set_counter("dma.stores", stores);
     snap.set_counter("dma.evictions", evictions);
     snap.set_counter("dma.requests", requests);
+    // Fork/serial decisions of the parallel runtime, so speedup tables can
+    // confirm the grain threshold is actually forking (observe-only; the
+    // counters never feed back into simulation state).
+    const ParallelStats ps = parallel_stats();
+    snap.set_counter("parallel.forks", ps.forks - parallel_baseline_.forks);
+    snap.set_counter("parallel.serial_fallback",
+                     ps.serial_fallback - parallel_baseline_.serial_fallback);
+    snap.set_gauge("parallel.workers",
+                   static_cast<double>(parallel_config().workers));
   });
 }
 
@@ -161,13 +171,25 @@ std::optional<db::VideoInfo> VodService::find_title(
 
 std::vector<std::pair<db::VideoInfo, std::uint64_t>> VodService::top_titles(
     std::size_t count) const {
-  std::vector<std::pair<db::VideoInfo, std::uint64_t>> ranked;
-  for (const db::VideoInfo& info : db_.full_view().list_videos()) {
-    std::uint64_t demand = 0;
-    for (const auto& [node, state] : servers_) {
-      demand += state.cache->points(info.id);
+  const std::vector<db::VideoInfo> infos = db_.full_view().list_videos();
+  std::vector<VideoId> ids;
+  ids.reserve(infos.size());
+  for (const db::VideoInfo& info : infos) ids.push_back(info.id);
+  // Per-server DMA points come back as one positional bulk sweep per
+  // server (the parallel region lives in DmaCache::points_bulk); the sums
+  // are integers, so accumulation order cannot change the ranking.
+  std::vector<std::uint64_t> demand(infos.size(), 0);
+  std::vector<std::uint64_t> server_points;
+  for (const auto& [node, state] : servers_) {
+    state.cache->points_bulk(ids, server_points);
+    for (std::size_t i = 0; i < demand.size(); ++i) {
+      demand[i] += server_points[i];
     }
-    ranked.emplace_back(info, demand);
+  }
+  std::vector<std::pair<db::VideoInfo, std::uint64_t>> ranked;
+  ranked.reserve(infos.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    ranked.emplace_back(infos[i], demand[i]);
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {

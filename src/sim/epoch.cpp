@@ -1,0 +1,76 @@
+#include "sim/epoch.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "sim/event_queue.h"
+
+namespace vod::sim {
+
+std::size_t EpochExecutor::run(EventQueue& queue, SimTime now,
+                               std::vector<EpochEvent>& batch,
+                               std::size_t shards) {
+  if (shards == 0) shards = 1;
+  ++epochs_;
+  // Partition: sharded events bucket by shard_of (keeping scheduling order
+  // inside each bucket); serial events keep scheduling order outright.
+  if (shard_members_.size() < shards) shard_members_.resize(shards);
+  for (std::vector<std::uint32_t>& members : shard_members_) members.clear();
+  serial_members_.clear();
+  std::size_t sharded_total = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i].sharded) {
+      shard_members_[shard_of(batch[i].affinity, shards)].push_back(
+          static_cast<std::uint32_t>(i));
+      ++sharded_total;
+    } else {
+      serial_members_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::size_t executed = 0;
+  if (sharded_total > 0) {
+    if (buffers_.size() < shards) buffers_.resize(shards);
+    // Liveness resolves up-front on the orchestrating thread (workers never
+    // touch the queue): every event taken here WILL run — the instant's
+    // serial events fire after the phase, too late to cancel one (see the
+    // header contract).
+    std::size_t live_total = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      std::vector<std::uint32_t>& members = shard_members_[s];
+      std::erase_if(members, [&](std::uint32_t idx) {
+        return !queue.take_epoch_event(batch[idx].sequence);
+      });
+      live_total += members.size();
+    }
+    // Parallel phase over the fixed shard partition.  The fork decision
+    // weighs the live event count against the grain; the partition itself
+    // never depends on it.  Handlers write only their own shard's
+    // EffectBuffer and affinity-owned state.
+    // vodlint: parallel-region
+    parallel_for_items(shards, live_total,
+                       [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        for (const std::uint32_t idx : shard_members_[s]) {
+          batch[idx].sharded(now, buffers_[s]);
+        }
+      }
+    });
+    // Barrier + deterministic merge: effects apply in shard-index order,
+    // within a shard in the order the handlers deferred them.
+    for (std::size_t s = 0; s < shards; ++s) buffers_[s].run_all(now);
+    executed += live_total;
+    sharded_events_ += live_total;
+  }
+  // The instant's serial events, in scheduling order.  Liveness is checked
+  // per event so a serial event cancelling a later same-instant serial
+  // event behaves exactly as the one-at-a-time loop did.
+  for (const std::uint32_t idx : serial_members_) {
+    if (!queue.take_epoch_event(batch[idx].sequence)) continue;
+    batch[idx].callback(now);
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace vod::sim

@@ -1,0 +1,111 @@
+// Epoch-barrier parallel stepping (DESIGN.md §15).
+//
+// The simulator advances in discrete instants, and every event at one
+// instant already fires from the same logical "now" — exactly the structure
+// a fork-join core can exploit without giving up the replay guarantee.  An
+// *epoch* is the batch of every pending event sharing the earliest
+// timestamp.  Events scheduled with an affinity key (session/server/link
+// id) are partitioned into a FIXED shard array — shard_of(key, shards),
+// never a function of the worker count — and their handlers run on the
+// ForkJoinPool with writes confined to per-shard ordered EffectBuffers.
+// At the barrier the buffers are applied in shard-index order (and, within
+// a shard, in scheduling order), then the instant's plain serial events run
+// in scheduling order, and only then may the clock advance.  Because the
+// partition and every merge order are pure functions of the event batch,
+// results are bit-identical at any worker width — the property the PR 5
+// double-run harness and the seeded-storm digests pin.
+//
+// Contract for sharded handlers (gated by vodlint's [parallel-region-write]
+// rule at the dispatch site):
+//   * may read any state that no other shard mutates during the phase, and
+//     may write only state owned by their affinity key;
+//   * must not touch the EventQueue or lazily-built mutable caches — defer
+//     scheduling, cancellation and cross-shard mutation into the
+//     EffectBuffer, which runs serially after the barrier;
+//   * an event at instant T with affinity can only be cancelled by events
+//     strictly before T (the parallel phase runs before the instant's
+//     serial events, so a same-instant cancel arrives too late by design).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace vod::sim {
+
+/// Ordered buffer of deferred mutations recorded by one shard during the
+/// parallel phase.  Effects run serially at the barrier, so they may touch
+/// anything a plain event callback may (schedule, cancel, global state).
+class EffectBuffer {
+ public:
+  using Effect = std::function<void(SimTime)>;
+
+  void defer(Effect effect) { effects_.push_back(std::move(effect)); }
+
+  [[nodiscard]] std::size_t size() const { return effects_.size(); }
+  [[nodiscard]] bool empty() const { return effects_.empty(); }
+
+  /// Runs every deferred effect in the order recorded, then clears.  Only
+  /// the epoch executor (and the serial inline path) call this.
+  void run_all(SimTime now) {
+    for (Effect& effect : effects_) effect(now);
+    effects_.clear();
+  }
+
+ private:
+  std::vector<Effect> effects_;
+};
+
+/// Affinity key of an event with no shard owner (a plain serial event).
+inline constexpr std::uint64_t kNoAffinity = ~std::uint64_t{0};
+
+/// Stable shard assignment: a pure function of the affinity key and the
+/// shard count, so the partition is identical across runs and worker
+/// widths by construction.
+[[nodiscard]] constexpr std::size_t shard_of(std::uint64_t affinity,
+                                             std::size_t shards) {
+  return static_cast<std::size_t>(affinity % shards);
+}
+
+/// One event popped into an epoch batch.  Exactly one of `callback`
+/// (serial) and `sharded` (parallel phase) is set; `sequence` preserves
+/// scheduling order inside the batch.
+struct EpochEvent {
+  std::uint64_t sequence = 0;
+  std::uint64_t affinity = kNoAffinity;
+  std::function<void(SimTime)> callback;
+  std::function<void(SimTime, EffectBuffer&)> sharded;
+};
+
+class EventQueue;
+
+/// Runs epoch batches: shard partition -> parallel phase -> effect merge in
+/// shard-index order -> serial events in scheduling order.  Holds the shard
+/// scratch (member buckets reused across epochs) so a steady-state step
+/// allocates nothing.
+class EpochExecutor {
+ public:
+  /// Executes one same-instant batch at `now` over `shards` fixed shards.
+  /// Returns the number of events that actually ran (cancelled ones are
+  /// skipped via the queue's liveness check).
+  std::size_t run(EventQueue& queue, SimTime now,
+                  std::vector<EpochEvent>& batch, std::size_t shards);
+
+  // Observability for tests: totals since construction.
+  [[nodiscard]] std::uint64_t epochs_run() const { return epochs_; }
+  [[nodiscard]] std::uint64_t sharded_events_run() const {
+    return sharded_events_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> shard_members_;
+  std::vector<EffectBuffer> buffers_;
+  std::vector<std::uint32_t> serial_members_;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t sharded_events_ = 0;
+};
+
+}  // namespace vod::sim

@@ -7,18 +7,53 @@
 
 namespace vod::sim {
 
+namespace {
+
+// vodlint:allow(shared-mutable-global: the one stepping-config knob — installed from single-threaded orchestration only, same contract as the parallel runtime it configures)
+SimulationConfig& config_slot() {
+  // vodlint:allow(shared-mutable-global: single doorway, see above)
+  static SimulationConfig instance;
+  return instance;
+}
+
+}  // namespace
+
+void set_simulation_config(const SimulationConfig& config) {
+  config_slot() = config;
+  set_parallel_config(config.parallel);
+}
+
+const SimulationConfig& simulation_config() { return config_slot(); }
+
 std::size_t Simulation::run(std::size_t max_events) {
+  const SimulationConfig& config = simulation_config();
+  if (!config.epoch_barrier) {
+    std::size_t executed = 0;
+    while (executed < max_events && queue_.run_next()) ++executed;
+    return executed;
+  }
   std::size_t executed = 0;
-  while (executed < max_events && queue_.run_next()) ++executed;
+  while (executed < max_events) {
+    if (queue_.pop_epoch(epoch_batch_) == 0) break;
+    executed += executor_.run(queue_, queue_.now(), epoch_batch_,
+                              config.epoch_shards);
+  }
   return executed;
 }
 
 std::size_t Simulation::run_until(SimTime until) {
+  const SimulationConfig& config = simulation_config();
   std::size_t executed = 0;
   while (auto next = queue_.next_time()) {
     if (*next > until) break;
-    queue_.run_next();
-    ++executed;
+    if (config.epoch_barrier) {
+      if (queue_.pop_epoch(epoch_batch_) == 0) break;
+      executed += executor_.run(queue_, queue_.now(), epoch_batch_,
+                                config.epoch_shards);
+    } else {
+      queue_.run_next();
+      ++executed;
+    }
   }
   // Advance the clock to `until` with a no-op event so `now()` reflects the
   // requested horizon even when the queue drained early.

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/sim_time.h"
 #include "db/database.h"
@@ -62,6 +63,14 @@ class SnmpModule {
  private:
   void sample(SimTime now);
 
+  /// One link's computed counters from the parallel phase of a sweep; the
+  /// serial merge applies them to the database in link order.
+  struct LinkReading {
+    Mbps used{0.0};
+    double utilization = 0.0;
+    bool online = true;
+  };
+
   sim::Simulation& sim_;
   net::FluidNetwork& network_;
   db::LimitedAccessView view_;
@@ -70,6 +79,7 @@ class SnmpModule {
   std::size_t poll_count_ = 0;
   std::optional<SimTime> last_poll_at_;
   std::unique_ptr<sim::PeriodicTask> task_;
+  std::vector<LinkReading> sweep_scratch_;  // reused across sweeps
 };
 
 }  // namespace vod::snmp

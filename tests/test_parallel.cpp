@@ -1,10 +1,12 @@
-// Deterministic ParallelFor pilot: the thread count is a performance knob,
-// never a semantic one (DESIGN.md §9/§14).  These tests force real forking
-// on tiny inputs (min_fork_items = 1) and assert bit-identical results at
-// 1, 2 and 8 workers for the runtime primitives, the fluid progressive-fill
-// pilot, the per-candidate VRA evaluation pilot, and a full seeded-storm
-// service run.  They are also the workload the TSan CI tier drives
-// (scripts/ci.sh --tsan runs ctest -R 'Parallel').
+// Deterministic ParallelFor pilot and epoch-barrier stepping core: the
+// thread count is a performance knob, never a semantic one (DESIGN.md
+// §9/§14/§15).  These tests force real forking on tiny inputs
+// (min_fork_items = 1) and assert bit-identical results at 1, 2 and 8
+// workers for the runtime primitives, the fluid progressive-fill pilot,
+// the per-candidate VRA evaluation pilot, the epoch-barrier sharded
+// stepping core, and full seeded-storm service runs.  They are also the
+// workload the TSan CI tier drives (scripts/ci.sh --tsan runs ctest -R
+// 'Parallel').
 #include "common/parallel.h"
 
 #include <gtest/gtest.h>
@@ -22,23 +24,29 @@
 #include "net/traffic.h"
 #include "service/report.h"
 #include "service/vod_service.h"
+#include "sim/simulation.h"
 #include "vra/vra.h"
 #include "workload/request_gen.h"
 
 namespace vod {
 namespace {
 
-/// Installs a worker count with forking forced on any range size, and
-/// restores the serial default on scope exit so tests cannot leak
-/// configuration into each other.
+/// Installs the one simulation-wide stepping knob (DESIGN.md §15): a
+/// worker count with forking forced on any range size, optionally with
+/// epoch-barrier stepping, restoring the serial default on scope exit so
+/// tests cannot leak configuration into each other.
 class ParallelGuard {
  public:
-  explicit ParallelGuard(unsigned workers) {
-    set_parallel_config({.workers = workers, .min_fork_items = 1});
+  explicit ParallelGuard(unsigned workers, bool epoch_barrier = false) {
+    sim::SimulationConfig config;
+    config.parallel.workers = workers;
+    config.parallel.min_fork_items = 1;
+    config.epoch_barrier = epoch_barrier;
+    sim::set_simulation_config(config);
   }
   ParallelGuard(const ParallelGuard&) = delete;
   ParallelGuard& operator=(const ParallelGuard&) = delete;
-  ~ParallelGuard() { set_parallel_config({}); }
+  ~ParallelGuard() { sim::set_simulation_config({}); }
 };
 
 const unsigned kWidths[] = {1, 2, 8};
@@ -259,6 +267,124 @@ TEST(ParallelVra, SelectServerIdenticalAcrossWidths) {
 }
 
 // -----------------------------------------------------------------------
+// Epoch-barrier stepping core (DESIGN.md §15)
+// -----------------------------------------------------------------------
+
+/// Runs one epoch of 40 sharded events whose affinities stride (and
+/// collide in) the shard array, and returns the order their effects were
+/// merged at the barrier.  The merge order IS the shard assignment:
+/// ascending shard index, scheduling order within a shard.
+std::vector<int> epoch_merge_order(unsigned workers) {
+  ParallelGuard guard{workers, /*epoch_barrier=*/true};
+  sim::Simulation sim;
+  std::vector<int> order;
+  for (int e = 0; e < 40; ++e) {
+    const auto affinity = static_cast<std::uint64_t>(e) * 7u;
+    sim.schedule_sharded_at(
+        SimTime{1.0}, affinity,
+        [&order, e](SimTime, sim::EffectBuffer& effects) {
+          effects.defer([&order, e](SimTime) { order.push_back(e); });
+        });
+  }
+  sim.run();
+  return order;
+}
+
+TEST(ParallelEpoch, ShardAssignmentStableAcrossRunsAndWidths) {
+  const std::vector<int> first = epoch_merge_order(1);
+  ASSERT_EQ(first.size(), 40u);
+  // The observed merge order must be exactly the stable partition by
+  // shard_of(affinity): shard indices ascending, scheduling order within
+  // a shard — never influenced by worker count or handler timing.
+  const std::size_t shards = sim::simulation_config().epoch_shards;
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    const std::size_t prev =
+        sim::shard_of(static_cast<std::uint64_t>(first[i - 1]) * 7u, shards);
+    const std::size_t cur =
+        sim::shard_of(static_cast<std::uint64_t>(first[i]) * 7u, shards);
+    ASSERT_LE(prev, cur) << "merge left shard order at position " << i;
+    if (prev == cur) {
+      ASSERT_LT(first[i - 1], first[i])
+          << "within-shard scheduling order broken at position " << i;
+    }
+  }
+  for (unsigned width : kWidths) {
+    EXPECT_EQ(epoch_merge_order(width), first) << "width " << width;
+    EXPECT_EQ(epoch_merge_order(width), first) << "rerun, width " << width;
+  }
+}
+
+TEST(ParallelEpoch, ShardedEffectsMergeBeforeSerialEvents) {
+  for (unsigned width : kWidths) {
+    ParallelGuard guard{width, /*epoch_barrier=*/true};
+    sim::Simulation sim;
+    std::vector<std::string> order;
+    sim.schedule_at(SimTime{1.0},
+                    [&order](SimTime) { order.push_back("serial0"); });
+    sim.schedule_sharded_at(SimTime{1.0}, 5,
+                            [&order](SimTime, sim::EffectBuffer& effects) {
+                              effects.defer([&order](SimTime) {
+                                order.push_back("shard5");
+                              });
+                            });
+    sim.schedule_at(SimTime{1.0},
+                    [&order](SimTime) { order.push_back("serial1"); });
+    sim.schedule_sharded_at(SimTime{1.0}, 2,
+                            [&order](SimTime, sim::EffectBuffer& effects) {
+                              effects.defer([&order](SimTime) {
+                                order.push_back("shard2");
+                              });
+                            });
+    sim.run();
+    const std::vector<std::string> want{"shard2", "shard5", "serial0",
+                                        "serial1"};
+    EXPECT_EQ(order, want) << "width " << width;
+  }
+}
+
+TEST(ParallelEpoch, EffectsRescheduleSameInstantInFreshEpoch) {
+  ParallelGuard guard{2, /*epoch_barrier=*/true};
+  sim::Simulation sim;
+  std::vector<int> order;
+  sim.schedule_sharded_at(
+      SimTime{1.0}, 0, [&](SimTime now, sim::EffectBuffer& effects) {
+        effects.defer([&, now](SimTime) {
+          order.push_back(1);
+          sim.schedule_sharded_at(now, 1,
+                                  [&](SimTime, sim::EffectBuffer& fx) {
+                                    fx.defer([&](SimTime) {
+                                      order.push_back(2);
+                                    });
+                                  });
+        });
+      });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // The same-instant reschedule ran as a second epoch batch at the same
+  // clock value — the barrier never lets an effect race its own instant.
+  EXPECT_EQ(sim.epoch_executor().epochs_run(), 2u);
+  EXPECT_EQ(sim.epoch_executor().sharded_events_run(), 2u);
+  EXPECT_EQ(sim.now().seconds(), 1.0);
+}
+
+TEST(ParallelEpoch, CancelFromEarlierInstantPreventsShardedRun) {
+  for (unsigned width : kWidths) {
+    ParallelGuard guard{width, /*epoch_barrier=*/true};
+    sim::Simulation sim;
+    int ran = 0;
+    const sim::EventHandle doomed = sim.schedule_sharded_at(
+        SimTime{2.0}, 3, [&ran](SimTime, sim::EffectBuffer& effects) {
+          effects.defer([&ran](SimTime) { ++ran; });
+        });
+    sim.schedule_at(SimTime{1.0}, [&sim, doomed](SimTime) {
+      EXPECT_TRUE(sim.queue().cancel(doomed));
+    });
+    sim.run();
+    EXPECT_EQ(ran, 0) << "width " << width;
+  }
+}
+
+// -----------------------------------------------------------------------
 // Whole-service seeded-storm digest
 // -----------------------------------------------------------------------
 
@@ -266,8 +392,8 @@ TEST(ParallelVra, SelectServerIdenticalAcrossWidths) {
 /// of diurnal load on the GRNET case study under a seeded fault storm.  The
 /// digest captures everything a run externalizes; any thread-count leak
 /// into allocation order, SNMP sweeps or retry timing shows up here.
-std::string storm_digest(unsigned workers) {
-  ParallelGuard guard{workers};
+std::string storm_digest(unsigned workers, bool epoch_barrier = false) {
+  ParallelGuard guard{workers, epoch_barrier};
   grnet::CaseStudy g = grnet::build_case_study();
   net::DiurnalTraffic traffic{20.0};
   for (const net::LinkInfo& info : g.topology.links()) {
@@ -332,6 +458,17 @@ TEST(ParallelDeterminism, SeededStormDigestIdenticalAcrossWidths) {
   EXPECT_FALSE(serial.empty());
   for (unsigned width : kWidths) {
     EXPECT_EQ(storm_digest(width), serial) << "width " << width;
+  }
+}
+
+TEST(ParallelDeterminism, EpochBarrierStormDigestMatchesSerial) {
+  // Epoch-barrier stepping of the full service must externalize exactly
+  // what per-event serial stepping does, at every worker width.
+  const std::string serial = storm_digest(1);
+  EXPECT_FALSE(serial.empty());
+  for (unsigned width : kWidths) {
+    EXPECT_EQ(storm_digest(width, /*epoch_barrier=*/true), serial)
+        << "width " << width;
   }
 }
 

@@ -1,0 +1,36 @@
+// vodlint fixture: [parallel-region-write] over the epoch-barrier shard
+// dispatch (DESIGN.md §15).  Lint-only — never compiled.  The ctest entry
+// asserts --expect parallel-region-write=2 (plus shared-mutable-global=1
+// for the merge counter the bad handler races on).
+#include <cstddef>
+
+namespace fixture {
+
+struct EffectBuffer {
+  void defer(long value);
+};
+
+struct ShardState {
+  mutable long merged_ = 0;  // indexed as shared state, not flagged here
+};
+
+long effects_applied = 0;  // expected: [shared-mutable-global]
+
+void run_epoch(ShardState& state, EffectBuffer* buffers, long* lanes,
+               std::size_t shards) {
+  // vodlint: parallel-region
+  parallel_for_items(shards, shards * 4, [&](std::size_t begin,
+                                             std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      lanes[s] = 7;          // shard-owned slot: clean
+      buffers[s].defer(7);   // writes confined to the shard's buffer: clean
+      state.merged_ += 1;    // expected: mutable-member write in region
+      effects_applied += 1;  // expected: global write in region
+      // vodlint:allow(parallel-region-write: fixture suppression demo)
+      effects_applied += 1;  // suppressed: reported but not counted
+    }
+  });
+  state.merged_ += 1;  // outside the region: the merge phase is serial
+}
+
+}  // namespace fixture
