@@ -238,6 +238,12 @@ int main(int argc, char** argv) {
   // so diffing the timing table against an untraced run measures the
   // tracing overhead at 1k/10k flows (EXPERIMENTS.md quotes it).
   bench::ObsScope obs{argc, argv};
+  // --flight-out installs the always-on flight ring as the effective sink
+  // instead: the same instrumentation events land in the bounded ring
+  // (overwrite-oldest), measuring the black-box recorder's steady-state
+  // cost at 1k/10k flows.  No sim clock or registry here — the ring only
+  // appends; nothing triggers a dump.  The ObsScope destructor uninstalls.
+  if (obs.flight() != nullptr) obs::set_flight_recorder(obs.flight());
   std::string out_path = "BENCH_fluid.json";
   unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {

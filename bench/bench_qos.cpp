@@ -15,10 +15,15 @@
 //
 // Usage: bench_qos [--smoke] [--qos-gate] [--out PATH]
 //        (default PATH: BENCH_qos.json)
+//        plus the shared ObsScope flags (bench_util.h): --series-out FILE
+//        samples the tiered run's registry on the series cadence,
+//        --flight-out PREFIX arms the flight recorder (the storm's SLO
+//        breaches and preemptions dump deterministic black boxes).
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.h"
@@ -75,6 +80,10 @@ RunResult run_case(bool tiered, int request_count, double horizon,
   }
   service::VodService service{sim, g.topology, network, options,
                               bench::kAdmin};
+  // Telemetry v2 watches the tiered run (its qos.* metrics are what the
+  // SLO specs read); with no v2 flag this is a no-op and both runs stay
+  // byte-identical to the pre-v2 bench.
+  if (tiered) obs.bind_registry(service.metrics());
 
   const NodeId replicas[3][2] = {{g.thessaloniki, g.xanthi},
                                  {g.thessaloniki, g.heraklio},
@@ -149,6 +158,7 @@ RunResult run_case(bool tiered, int request_count, double horizon,
   result.faults_applied = injector.trace().size();
   result.peak_link_utilization_mean =
       probe_count > 0 ? probe_sum / static_cast<double>(probe_count) : 0.0;
+  if (tiered) obs.unbind_registry();
   obs.bind_clock(nullptr);
   return result;
 }
@@ -205,6 +215,40 @@ int main(int argc, char** argv) {
   const int request_count = smoke ? 18 : 60;
   const double horizon = smoke ? 1200.0 : 3600.0;
   const double spacing = smoke ? 45.0 : 45.0;
+
+  // SLOs over the tiered run, evaluated on the series cadence (inert with
+  // no v2 flag).  Windows follow the SRE multi-window pattern: the short
+  // window catches the storm spike, the long one confirms it is not noise.
+  {
+    obs::SloSpec spec;
+    spec.name = "premium-availability";
+    spec.kind = obs::SloSpec::Kind::kAvailabilityFloor;
+    spec.good_metric = "qos.premium.finished";
+    spec.total_metrics = {"qos.premium.finished", "qos.premium.failed"};
+    spec.threshold = 0.9;
+    spec.windows = {{Duration{1800.0}, 1.0}, {Duration{600.0}, 1.0}};
+    obs.add_slo(std::move(spec));
+  }
+  {
+    obs::SloSpec spec;
+    spec.name = "stall-p99";
+    spec.kind = obs::SloSpec::Kind::kQuantileCeiling;
+    spec.histogram_metric = "session.stall_seconds";
+    spec.quantile = 0.99;
+    spec.threshold = 120.0;  // ceiling: p99 stall <= 2 minutes
+    spec.windows = {{Duration{1800.0}, 1.0}, {Duration{600.0}, 1.0}};
+    obs.add_slo(std::move(spec));
+  }
+  {
+    obs::SloSpec spec;
+    spec.name = "background-reject-rate";
+    spec.kind = obs::SloSpec::Kind::kRatioCeiling;
+    spec.bad_metric = "qos.background.rejected";
+    spec.total_metrics = {"qos.background.requests"};
+    spec.threshold = 0.25;  // ceiling: <= 25% of background turned away
+    spec.windows = {{Duration{1800.0}, 1.0}, {Duration{600.0}, 1.0}};
+    obs.add_slo(std::move(spec));
+  }
 
   bench::heading(
       "Tiered QoS under a fault storm: single-class baseline vs. "

@@ -99,7 +99,7 @@ const char* policy_name(Policy p) {
   return "?";
 }
 
-RunResult run(Policy which) {
+RunResult run(Policy which, bench::ObsScope& obs) {
   const Network n = build_network();
   net::DiurnalTraffic traffic{14.0};
   for (const net::LinkInfo& info : n.topo.links()) {
@@ -114,6 +114,7 @@ RunResult run(Policy which) {
                           .base_fraction = 0.55,
                           .peak_fraction = 0.97});
   sim::Simulation sim;
+  obs.bind_clock([&sim] { return sim.now(); });
   net::FluidNetwork network{n.topo, traffic};
   net::TransferManager transfers{sim, network};
 
@@ -183,6 +184,7 @@ RunResult run(Policy which) {
   }
   sim.run_until(from_hours(48.0));
   snmp.stop();
+  obs.bind_clock(nullptr);
 
   RunResult result;
   for (const auto& session : sessions) {
@@ -363,10 +365,12 @@ struct ChurnResult {
 /// retention.  Home holds the title, so every flow is pathless (the
 /// all-local fast path) and the run measures the session machinery, not
 /// the fluid solver.  Memory must be O(active ~2k), not O(total).
-ChurnResult run_service_churn(std::size_t total_sessions) {
+ChurnResult run_service_churn(std::size_t total_sessions,
+                              bench::ObsScope& obs) {
   grnet::CaseStudy g = grnet::build_case_study();
   net::NoTraffic traffic;
   sim::Simulation sim;
+  obs.bind_clock([&sim] { return sim.now(); });
   net::FluidNetwork network{g.topology, traffic};
   service::ServiceOptions options;
   options.cluster_size = MegaBytes{10.0};
@@ -374,6 +378,11 @@ ChurnResult run_service_churn(std::size_t total_sessions) {
   options.retention = service::SessionRetention::kCountersOnly;
   service::VodService service{sim, g.topology, network, options,
                               bench::kAdmin};
+  // Telemetry v2 watches the churn phase: --series-out turns the
+  // service.active_sessions gauge (and the epoch/parallel counters under
+  // --threads) into a trajectory that shows the O(active) plateau the RSS
+  // gate asserts numerically.  No-op without a v2 flag.
+  obs.bind_registry(service.metrics());
   const VideoId movie =
       service.add_video("movie", MegaBytes{10.0}, Mbps{2.0});
   service.place_initial_copy(g.patra, movie);
@@ -401,6 +410,8 @@ ChurnResult run_service_churn(std::size_t total_sessions) {
     });
   }
   sim.run_until(SimTime{t + 100.0});
+  obs.unbind_registry();
+  obs.bind_clock(nullptr);
 
   result.peak_rss_kb = proc_status_kb("VmHWM:");
   // Wave 1 still pays one-time warm-up (pools, allocator arenas, metric
@@ -558,8 +569,8 @@ void write_gate_json(const std::string& path, unsigned threads,
       << (pass ? "true" : "false") << "}\n}\n";
 }
 
-int run_scale_gate(bool full, unsigned threads,
-                   const std::string& out_path) {
+int run_scale_gate(bool full, unsigned threads, const std::string& out_path,
+                   bench::ObsScope& obs) {
   ReplayConfig cfg;
   if (full) {
     cfg.concurrent = 1'000'000;
@@ -588,7 +599,7 @@ int run_scale_gate(bool full, unsigned threads,
   std::cout << "speedup: " << TextTable::num(speedup, 1) << "x\n\n";
 
   const std::size_t churn_total = full ? 1'000'000 : 100'000;
-  const ChurnResult churn = run_service_churn(churn_total);
+  const ChurnResult churn = run_service_churn(churn_total, obs);
   std::cout << "Service churn (" << churn.total_sessions
             << " sessions, kCountersOnly, ~2k concurrent):\n  RSS at wave "
                "boundaries (kB):";
@@ -655,6 +666,7 @@ int run_scale_gate(bool full, unsigned threads,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::ObsScope obs{argc, argv};
   bool scale_gate = false;
   bool full = false;
   unsigned threads = 1;
@@ -672,7 +684,7 @@ int main(int argc, char** argv) {
   // shared bench knob (bench::threads_config); the epoch-stepping section
   // additionally flips epoch_barrier on for its sharded run.
   sim::set_simulation_config(bench::threads_config(threads));
-  if (scale_gate) return run_scale_gate(full, threads, out_path);
+  if (scale_gate) return run_scale_gate(full, threads, out_path, obs);
 
   bench::heading("Scale study: 12-node two-tier backbone, one day");
   std::cout << "30 titles x 120 MB @1.5 Mbps, 2 replicas; ~80 "
@@ -683,7 +695,7 @@ int main(int argc, char** argv) {
                    "DL p95 (s)", "QoS-ok %", "switches"}};
   for (const Policy policy :
        {Policy::kVra, Policy::kNearest, Policy::kRandom}) {
-    const RunResult r = run(policy);
+    const RunResult r = run(policy, obs);
     const double qos_share =
         r.finished > 0 ? 100.0 * r.qos_ok / r.finished : 0.0;
     table.add_row({policy_name(policy), std::to_string(r.finished),

@@ -3,13 +3,20 @@
 // in; a server crash then sheds load bottom-up — premium fails over first
 // with its 1.5x stall patience, background times out first and its zero
 // retry budget makes it absorbed shed.  Ends with the per-class SLA slice
-// of the resilience report.
+// of the resilience report and a telemetry-v2 postmortem: an SLO burn-rate
+// monitor catches the background sacrifice as an availability breach, and
+// the always-on flight recorder dumps black boxes (qos_demo_flight_*.json)
+// for the preemption and the breach — the README "ops story" walks them.
 //
 // Build & run:  ./build/examples/qos_demo
 #include <iostream>
+#include <utility>
 
 #include "grnet/grnet.h"
 #include "net/fluid.h"
+#include "obs/flight.h"
+#include "obs/series.h"
+#include "obs/slo.h"
 #include "service/report.h"
 #include "service/vod_service.h"
 #include "sim/simulation.h"
@@ -38,6 +45,44 @@ int main() {
       service.add_video("blockbuster", MegaBytes{30.0}, Mbps{0.5});
   service.place_initial_copy(g.athens, movie);  // sole replica for now
   service.start();
+
+  // --- Telemetry v2 rides along (DESIGN.md §16) -----------------------
+  // Flight recorder: a bounded ring of recent trace events, always on;
+  // anomalies (the preemption below, SLO breaches) dump deterministic
+  // black boxes.  The demo's two anomalies land on the same sim instant
+  // (the breach is evaluated on the sampling tick right after the
+  // sacrifice), so disable the dump rate-limit gap entirely.
+  obs::FlightOptions flight_options;
+  flight_options.dump_path_prefix = "qos_demo_flight_";
+  flight_options.min_gap = Duration{0.0};
+  obs::FlightRecorder flight{flight_options};
+  flight.bind_registry(&service.metrics());
+  flight.set_clock([&sim] { return sim.now(); });
+  obs::set_flight_recorder(&flight);
+
+  // Series sampler: snapshots the service registry every 30 sim-seconds.
+  obs::TimeSeriesRecorder series;
+  series.bind_registry(&service.metrics());
+  obs::set_series_sink(&series);
+
+  // SLO: background availability >= 90% over 5-minute and 1-minute
+  // burn-rate windows.  The sacrifice ahead will torch that budget.
+  obs::SloMonitor slo{&service.metrics()};
+  {
+    obs::SloSpec spec;
+    spec.name = "background-availability";
+    spec.kind = obs::SloSpec::Kind::kAvailabilityFloor;
+    spec.good_metric = "qos.background.finished";
+    spec.total_metrics = {"qos.background.finished",
+                          "qos.background.failed"};
+    spec.threshold = 0.9;
+    spec.windows = {{Duration{300.0}, 1.0}, {Duration{60.0}, 1.0}};
+    slo.add(std::move(spec));
+  }
+  series.set_on_sample([&slo](SimTime at, const obs::MetricsSnapshot& snap) {
+    slo.evaluate(at, snap);
+  });
+  // --------------------------------------------------------------------
 
   std::cout << "Patra reaches the Athens replica over the 2 Mbps "
                "Patra-Athens link\n(0.2 Mbps of 8am background -> 1.8 Mbps "
@@ -103,5 +148,26 @@ int main() {
             << premium_sla.requests << " finished, "
             << service.preemption_victim_count()
             << " victim(s) paid for its admission\n";
-  return premium_sla.finished == premium_sla.requests ? 0 : 1;
+
+  // --- Postmortem: what the monitors saw ------------------------------
+  std::cout << "\nSLO status: " << slo.status_json();
+  std::cout << "flight recorder: " << flight.dump_count()
+            << " black box(es)";
+  for (std::size_t i = 0; i < flight.dumps().size(); ++i) {
+    std::cout << (i == 0 ? " — " : ", ") << "qos_demo_flight_" << i
+              << ".json (" << flight.dumps()[i].first << ")";
+  }
+  std::cout << "\nEach dump holds the last " << flight_options.ring_capacity
+            << " trace events before the anomaly, the full metrics\n"
+               "snapshot, and the sim clock — open one and read the story "
+               "backwards.\n";
+
+  obs::set_series_sink(nullptr);
+  obs::set_flight_recorder(nullptr);
+  const bool slo_caught_shed = !slo.states().empty() &&
+                               slo.states().front().breaches >= 1;
+  return premium_sla.finished == premium_sla.requests &&
+                 slo_caught_shed && flight.dump_count() >= 1
+             ? 0
+             : 1;
 }

@@ -49,6 +49,34 @@ build/bench/bench_table4_experiment_a --trace-out build/ci_table4_rerun.json \
 cmp build/ci_table4.json build/ci_table4_rerun.json
 echo "observability gate passed"
 
+echo "==== observability gate (telemetry v2) ===="
+# The QoS storm bench with the full v2 stack on — series sampler, SLO
+# burn-rate monitors, flight recorder — must emit schema-valid artefacts:
+# a series export, at least one black box (the storm trips the SLOs), and
+# a trace whose slo track carries breach instants.
+rm -f build/ci_flight_[0-9]*.json
+build/bench/bench_qos --smoke --qos-gate \
+  --series-out build/ci_series.json \
+  --flight-out build/ci_flight_ \
+  --trace-out build/ci_qos_trace.json > build/ci_qos_v2.out
+python3 tools/check_trace.py build/ci_series.json --kind series
+python3 tools/check_trace.py build/ci_flight_0.json --kind flight
+python3 tools/check_trace.py build/ci_qos_trace.json --require-slo
+# Telemetry v2 is observe-only and deterministic: the bench's stdout stays
+# byte-identical with v2 off, and a double run reproduces every artefact
+# byte for byte.
+build/bench/bench_qos --smoke --qos-gate > build/ci_qos_plain.out
+cmp build/ci_qos_v2.out build/ci_qos_plain.out
+mv build/ci_series.json build/ci_series_first.json
+mv build/ci_flight_0.json build/ci_flight_first.json
+rm -f build/ci_flight_[0-9]*.json
+build/bench/bench_qos --smoke --qos-gate \
+  --series-out build/ci_series.json \
+  --flight-out build/ci_flight_ >/dev/null
+cmp build/ci_series_first.json build/ci_series.json
+cmp build/ci_flight_first.json build/ci_flight_0.json
+echo "observability gate (telemetry v2) passed"
+
 echo "==== sanitizers (ASan + UBSan) ===="
 scripts/check_sanitizers.sh
 

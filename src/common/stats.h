@@ -43,6 +43,20 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
+/// THE nearest-rank rule (DESIGN.md §16), shared by SampleSet::quantile
+/// (sample-backed report percentiles) and obs::bucket_quantile
+/// (bucket-backed histogram/SLO percentiles): the 1-based rank of the q-th
+/// quantile among `count` ordered observations — ceil(q * count), clamped
+/// to at least 1.  One implementation so the two percentile families can
+/// never drift apart.
+[[nodiscard]] inline std::size_t nearest_rank(std::size_t count, double q) {
+  ensure(count > 0, "nearest_rank: no observations");
+  require(!(q < 0.0 || q > 1.0), "nearest_rank: q outside [0,1]");
+  const auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(count)));
+  return rank == 0 ? 1 : rank;
+}
+
 /// Stores samples for exact quantiles (benches have small sample counts).
 class SampleSet {
  public:
@@ -60,17 +74,15 @@ class SampleSet {
     return sum / static_cast<double>(samples_.size());
   }
 
-  /// Quantile by nearest-rank; q in [0, 1].  Throws when empty.
+  /// Quantile by nearest-rank (the shared rule above); q in [0, 1].
+  /// Throws when empty.
   [[nodiscard]] double quantile(double q) const {
     ensure(!samples_.empty(), "SampleSet::quantile: no samples");
-    require(!(q < 0.0 || q > 1.0), "SampleSet::quantile: q outside [0,1]");
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
     }
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(q * static_cast<double>(samples_.size())));
-    return samples_[rank == 0 ? 0 : rank - 1];
+    return samples_[nearest_rank(samples_.size(), q) - 1];
   }
 
   [[nodiscard]] double median() const { return quantile(0.5); }

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace vod::fault {
@@ -145,6 +146,20 @@ void FaultInjector::apply(const FaultRecord& record, SimTime now) {
         std::string{"fault."} + to_string(record.kind),
         {{"target", obs::num(static_cast<std::uint64_t>(record.target))},
          {"detail", obs::num(static_cast<std::uint64_t>(record.detail))}});
+  }
+  // Destructive faults fire the black box (restores are recoveries, not
+  // anomalies); the recorder's min_gap turns a storm into a few dumps.
+  switch (record.kind) {
+    case FaultKind::kLinkCut:
+    case FaultKind::kServerCrash:
+    case FaultKind::kDiskFailure:
+    case FaultKind::kSnmpOutage:
+      if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+        fr->trigger(std::string{"fault."} + to_string(record.kind));
+      }
+      break;
+    default:
+      break;
   }
   switch (record.kind) {
     case FaultKind::kLinkCut:

@@ -1,31 +1,62 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
 #include "common/contract.h"
+#include "common/stats.h"
 
 namespace vod::obs {
 
-namespace {
-
-/// Whole values print as integers, everything else with ostringstream
-/// default formatting — deterministic either way.
-std::string render(double value) {
+void render_value(std::ostream& os, double value) {
+  // to_chars + write instead of operator<<: the exporters emit hundreds of
+  // thousands of values and num_put's per-value locale machinery dominated
+  // the export cost.  chars_format::general with precision 6 is specified
+  // to match printf "%.6g", which is exactly what default-formatted
+  // ostream output produces for doubles, so the bytes are unchanged.
+  char buf[32];
   if (value == std::floor(value) && std::abs(value) < 9e15) {
-    std::ostringstream os;
-    os << static_cast<long long>(value);
-    return os.str();
+    const auto res = std::to_chars(buf, buf + sizeof buf,
+                                   static_cast<long long>(value));
+    os.write(buf, res.ptr - buf);
+  } else {
+    const auto res = std::to_chars(buf, buf + sizeof buf, value,
+                                   std::chars_format::general, 6);
+    os.write(buf, res.ptr - buf);
   }
-  std::ostringstream os;
-  os << value;
-  return os.str();
 }
 
-std::string bound_label(double bound) { return render(bound); }
-
-}  // namespace
+double bucket_quantile(const std::vector<double>& upper_bounds,
+                       const std::vector<std::uint64_t>& counts,
+                       std::uint64_t count, double q) {
+  require(count > 0, "bucket_quantile: empty histogram");
+  require(counts.size() == upper_bounds.size() + 1,
+      "bucket_quantile: counts must cover every bound plus +inf");
+  // One rank rule for the whole repo: vod::nearest_rank, shared with
+  // SampleSet::quantile (common/stats.h).
+  const std::uint64_t rank = nearest_rank(static_cast<std::size_t>(count), q);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative < rank) continue;
+    // The +inf bucket has no finite upper edge; clamp to the last bound.
+    if (i == upper_bounds.size()) {
+      return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+    }
+    const double hi = upper_bounds[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : upper_bounds[i - 1];
+    const std::uint64_t in_bucket = counts[i];
+    const std::uint64_t below = cumulative - in_bucket;
+    const double fraction = static_cast<double>(rank - below) /
+                            static_cast<double>(in_bucket);
+    return lo + (hi - lo) * fraction;
+  }
+  fail_ensure("bucket_quantile: rank exceeds total count");
+}
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : upper_bounds_(std::move(upper_bounds)),
@@ -63,6 +94,17 @@ void MetricsSnapshot::set_histogram(const std::string& name,
   histograms_[name] = std::move(data);
 }
 
+void MetricsSnapshot::set_histogram(
+    const std::string& name, const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& bucket_counts, std::uint64_t count,
+    double sum) {
+  HistogramData& slot = histograms_[name];
+  slot.upper_bounds = upper_bounds;
+  slot.bucket_counts = bucket_counts;
+  slot.count = count;
+  slot.sum = sum;
+}
+
 double MetricsSnapshot::value(const std::string& name) const {
   const auto it = scalars_.find(name);
   require_found(it != scalars_.end(),
@@ -78,18 +120,22 @@ std::string MetricsSnapshot::to_csv() const {
   std::ostringstream os;
   os << "name,kind,value\n";
   for (const auto& [name, scalar] : scalars_) {
-    os << name << ',' << (scalar.kind == 'c' ? "counter" : "gauge") << ','
-       << render(scalar.value) << '\n';
+    os << name << ',' << (scalar.kind == 'c' ? "counter" : "gauge") << ',';
+    render_value(os, scalar.value);
+    os << '\n';
   }
   for (const auto& [name, hist] : histograms_) {
     for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
-      os << name << "[le=" << bound_label(hist.upper_bounds[i])
-         << "],histogram," << hist.bucket_counts[i] << '\n';
+      os << name << "[le=";
+      render_value(os, hist.upper_bounds[i]);
+      os << "],histogram," << hist.bucket_counts[i] << '\n';
     }
     os << name << "[le=+inf],histogram,"
        << hist.bucket_counts[hist.upper_bounds.size()] << '\n';
     os << name << "[count],histogram," << hist.count << '\n';
-    os << name << "[sum],histogram," << render(hist.sum) << '\n';
+    os << name << "[sum],histogram,";
+    render_value(os, hist.sum);
+    os << '\n';
   }
   return os.str();
 }
@@ -102,7 +148,8 @@ std::string MetricsSnapshot::to_json() const {
     if (scalar.kind != 'c') continue;
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":" << render(scalar.value);
+    os << '"' << name << "\":";
+    render_value(os, scalar.value);
   }
   os << "},\"gauges\":{";
   first = true;
@@ -110,7 +157,8 @@ std::string MetricsSnapshot::to_json() const {
     if (scalar.kind != 'g') continue;
     if (!first) os << ',';
     first = false;
-    os << '"' << name << "\":" << render(scalar.value);
+    os << '"' << name << "\":";
+    render_value(os, scalar.value);
   }
   os << "},\"histograms\":{";
   first = true;
@@ -120,15 +168,16 @@ std::string MetricsSnapshot::to_json() const {
     os << '"' << name << "\":{\"bounds\":[";
     for (std::size_t i = 0; i < hist.upper_bounds.size(); ++i) {
       if (i != 0) os << ',';
-      os << render(hist.upper_bounds[i]);
+      render_value(os, hist.upper_bounds[i]);
     }
     os << "],\"counts\":[";
     for (std::size_t i = 0; i < hist.bucket_counts.size(); ++i) {
       if (i != 0) os << ',';
       os << hist.bucket_counts[i];
     }
-    os << "],\"count\":" << hist.count << ",\"sum\":" << render(hist.sum)
-       << '}';
+    os << "],\"count\":" << hist.count << ",\"sum\":";
+    render_value(os, hist.sum);
+    os << '}';
   }
   os << "}}\n";
   return os.str();
@@ -177,22 +226,24 @@ void MetricsRegistry::add_collector(Collector collector) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
+  snapshot_into(snap);
+  return snap;
+}
+
+void MetricsRegistry::snapshot_into(MetricsSnapshot& out) const {
   for (const auto& [name, counter] : counters_) {
-    snap.set_counter(name, counter.value());
+    out.set_counter(name, counter.value());
   }
   for (const auto& [name, gauge] : gauges_) {
-    snap.set_gauge(name, gauge.value());
+    out.set_gauge(name, gauge.value());
   }
   for (const auto& [name, hist] : histograms_) {
-    snap.set_histogram(name,
-                       MetricsSnapshot::HistogramData{
-                           hist.upper_bounds(), hist.bucket_counts(),
-                           hist.count(), hist.sum()});
+    out.set_histogram(name, hist.upper_bounds(), hist.bucket_counts(),
+                      hist.count(), hist.sum());
   }
   for (const Collector& collector : collectors_) {
-    collector(snap);
+    collector(out);
   }
-  return snap;
 }
 
 }  // namespace vod::obs

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,27 @@ class Gauge {
   double value_ = 0.0;
 };
 
+/// Streams `value` with the repo's deterministic rendering: whole values
+/// print as integers (no exponent, no trailing `.0`), everything else with
+/// the stream's default formatting.  Writing straight into the export
+/// stream matters: the exporters render hundreds of thousands of values,
+/// and a per-value ostringstream (locale setup each construction) was the
+/// dominant cost of `--series-out` before this existed.
+void render_value(std::ostream& os, double value);
+
+/// THE bucketed-percentile implementation (DESIGN.md §16): shared by
+/// Histogram::quantile and the SloMonitor's windowed bucket deltas so every
+/// histogram-derived percentile in the repo agrees.  Uses the same
+/// nearest-rank convention as SampleSet::quantile — rank = ceil(q * count)
+/// — then interpolates linearly inside the target bucket (the bucket's
+/// lower edge is the previous bound, or min(0, bound) for the first).
+/// Observations past the last bound clamp to it (the +inf bucket has no
+/// finite upper edge).  `counts` has bounds.size() + 1 entries (+inf last)
+/// and `count` is their total; throws when count is 0 or q outside [0,1].
+[[nodiscard]] double bucket_quantile(const std::vector<double>& upper_bounds,
+                                     const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t count, double q);
+
 /// Fixed-bucket histogram: counts of observations <= each upper bound,
 /// plus an implicit +inf bucket, total count and sum.  Bounds are fixed at
 /// construction — no dynamic resizing, so identical runs bucket
@@ -64,6 +86,13 @@ class Histogram {
   }
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
+
+  /// Bucket-interpolated quantile of everything observed so far (see
+  /// bucket_quantile above for the exact convention).  Deterministic —
+  /// a pure function of the bucket counts.  Throws when empty.
+  [[nodiscard]] double quantile(double q) const {
+    return bucket_quantile(upper_bounds_, counts_, count_, q);
+  }
 
  private:
   std::vector<double> upper_bounds_;
@@ -90,6 +119,12 @@ class MetricsSnapshot {
   void set_counter(const std::string& name, std::uint64_t value);
   void set_gauge(const std::string& name, double value);
   void set_histogram(const std::string& name, HistogramData data);
+  /// Overwrites in place, copy-assigning the vectors so a warm entry's
+  /// buffers are reused — the per-tick sampling path (snapshot_into).
+  void set_histogram(const std::string& name,
+                     const std::vector<double>& upper_bounds,
+                     const std::vector<std::uint64_t>& bucket_counts,
+                     std::uint64_t count, double sum);
 
   /// Scalar value by name; throws std::out_of_range when absent.
   [[nodiscard]] double value(const std::string& name) const;
@@ -137,6 +172,14 @@ class MetricsRegistry {
   /// Copies every instrument into a snapshot, then runs the collectors
   /// (which may overwrite or extend).
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Same, but into an existing snapshot whose warm entries are
+  /// overwritten in place — the series sampler calls this every cadence
+  /// tick, so after the first tick no map nodes are allocated.  Keys are
+  /// never removed: registries only grow instruments, so a stale key can
+  /// only come from rebinding a different registry (clear the snapshot
+  /// then).
+  void snapshot_into(MetricsSnapshot& out) const;
 
  private:
   void check_name_free(const std::string& name, char kind) const;

@@ -5,14 +5,35 @@
 #include <sstream>
 #include <utility>
 
+#include "common/contract.h"
+
 namespace vod::obs {
 
 namespace {
 
-// vodlint:allow(shared-mutable-global: trace sink pointer is installed
-// before a run and cleared after; the simulation core only reads it, and
+// vodlint:allow(shared-mutable-global: trace sink pointers are installed
+// before a run and cleared after; the simulation core only reads them, and
 // recorders are never installed around parallel regions (DESIGN.md §11))
-TraceRecorder* g_sink = nullptr;
+TraceRecorder* g_sink = nullptr;  // effective sink read by call sites
+
+// vodlint:allow(shared-mutable-global: same installer-owned lifecycle as
+// g_sink — these two feed the effective-sink rewiring below)
+TraceRecorder* g_user_sink = nullptr;
+
+// vodlint:allow(shared-mutable-global: same installer-owned lifecycle as
+// g_sink; owned by the FlightRecorder (obs/flight.h))
+TraceRecorder* g_flight_ring = nullptr;
+
+/// Recomputes the effective sink: the user recorder wins and mirrors into
+/// the flight ring; with no user recorder the ring records directly.
+void rewire_sink() {
+  if (g_user_sink != nullptr) {
+    g_user_sink->set_mirror(g_flight_ring);
+    g_sink = g_user_sink;
+  } else {
+    g_sink = g_flight_ring;
+  }
+}
 
 /// JSON string escaping for names/arg values (control chars, quote,
 /// backslash).
@@ -50,11 +71,24 @@ std::string json_escape(const std::string& in) {
   return out;
 }
 
+/// A reused formatting stream: constructing an ostringstream per value
+/// (locale setup each time) dominates rendering cost at trace/flight event
+/// volume.  thread_local because instrumented sites run inside sharded
+/// epochs on worker threads.
+std::ostringstream& scratch_stream() {
+  // vodlint:allow(shared-mutable-global: thread_local — every worker owns
+  // its own stream, nothing is shared; reuse only skips the per-value
+  // locale setup of a fresh ostringstream)
+  static thread_local std::ostringstream os;
+  os.str(std::string());
+  return os;
+}
+
 /// Simulated seconds -> trace microseconds, rendered without a fractional
 /// part when whole (the common case) so the JSON stays tidy and stable.
 std::string to_ts(SimTime at) {
   const double us = at.seconds() * 1e6;
-  std::ostringstream os;
+  std::ostringstream& os = scratch_stream();
   if (us == std::floor(us) && std::abs(us) < 9e15) {
     os << static_cast<long long>(us);
   } else {
@@ -83,12 +117,14 @@ const char* to_string(Subsystem subsystem) {
       return "service";
     case Subsystem::kSim:
       return "sim";
+    case Subsystem::kSlo:
+      return "slo";
   }
   return "?";
 }
 
 std::string num(double value) {
-  std::ostringstream os;
+  std::ostringstream& os = scratch_stream();
   os << value;
   return os.str();
 }
@@ -97,17 +133,40 @@ std::string num(std::uint64_t value) { return std::to_string(value); }
 
 TraceRecorder* trace_sink() { return g_sink; }
 
-void set_trace_sink(TraceRecorder* recorder) { g_sink = recorder; }
+void set_trace_sink(TraceRecorder* recorder) {
+  if (g_user_sink != nullptr && g_user_sink != recorder) {
+    g_user_sink->set_mirror(nullptr);
+  }
+  g_user_sink = recorder;
+  rewire_sink();
+}
 
-TraceRecorder::TraceRecorder(std::size_t max_events)
-    : max_events_(max_events) {}
+void set_flight_ring(TraceRecorder* ring) {
+  g_flight_ring = ring;
+  rewire_sink();
+}
+
+TraceRecorder::TraceRecorder(std::size_t max_events, OverflowPolicy policy)
+    : max_events_(max_events), policy_(policy) {
+  require(policy == OverflowPolicy::kDrop || max_events != 0,
+      "TraceRecorder: kRing requires a finite capacity");
+}
 
 void TraceRecorder::set_clock(std::function<SimTime()> clock) {
   clock_ = std::move(clock);
 }
 
 void TraceRecorder::push(TraceEvent event) {
+  if (mirror_ != nullptr) {
+    mirror_->push(event);  // copy: the mirror sees every event, cap or not
+  }
   if (max_events_ != 0 && events_.size() >= max_events_) {
+    if (policy_ == OverflowPolicy::kRing) {
+      events_[head_] = std::move(event);
+      head_ = (head_ + 1) % max_events_;
+      ++overwritten_;
+      return;
+    }
     ++dropped_;
     return;
   }
@@ -149,7 +208,9 @@ void TraceRecorder::async_end(Subsystem subsystem, std::string name,
 
 void TraceRecorder::clear() {
   events_.clear();
+  head_ = 0;
   dropped_ = 0;
+  overwritten_ = 0;
 }
 
 std::size_t TraceRecorder::subsystem_count() const {
@@ -179,7 +240,7 @@ std::string TraceRecorder::to_chrome_json() const {
        << s + 1 << ",\"args\":{\"name\":\""
        << to_string(static_cast<Subsystem>(s)) << "\"}}";
   }
-  for (const TraceEvent& event : events_) {
+  for_each_event([&](const TraceEvent& event) {
     const std::size_t tid = static_cast<std::size_t>(event.subsystem) + 1;
     os << ",\n{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
        << to_string(event.subsystem) << "\",\"ph\":\"" << event.phase
@@ -204,7 +265,7 @@ std::string TraceRecorder::to_chrome_json() const {
       os << "}";
     }
     os << "}";
-  }
+  });
   os << "\n]";
   if (dropped_ != 0) {
     os << ",\"vodDroppedEvents\":" << dropped_;
@@ -215,7 +276,7 @@ std::string TraceRecorder::to_chrome_json() const {
 
 std::string TraceRecorder::to_text() const {
   std::ostringstream os;
-  for (const TraceEvent& event : events_) {
+  for_each_event([&](const TraceEvent& event) {
     os << "t=" << event.at.seconds() << ' ' << to_string(event.subsystem)
        << ' ' << event.phase << ' ' << event.name;
     if (event.phase == 'b' || event.phase == 'e') {
@@ -228,9 +289,12 @@ std::string TraceRecorder::to_text() const {
       os << ' ' << arg.key << '=' << arg.value;
     }
     os << '\n';
-  }
+  });
   if (dropped_ != 0) {
     os << "# dropped " << dropped_ << " event(s) past the capacity cap\n";
+  }
+  if (overwritten_ != 0) {
+    os << "# ring overwrote " << overwritten_ << " older event(s)\n";
   }
   return os.str();
 }

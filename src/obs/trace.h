@@ -37,9 +37,10 @@ enum class Subsystem {
   kFault,
   kService,
   kSim,
+  kSlo,  // SLO burn-rate breach/recover events (obs/slo.h)
 };
 
-inline constexpr std::size_t kSubsystemCount = 8;
+inline constexpr std::size_t kSubsystemCount = 9;
 
 const char* to_string(Subsystem subsystem);
 
@@ -66,12 +67,21 @@ struct TraceEvent {
   std::vector<TraceArg> args;
 };
 
+/// What a capacity-capped recorder does with event N+1.
+enum class OverflowPolicy {
+  kDrop,  // count it (dropped_count) and discard — keeps the run's head
+  kRing,  // overwrite the oldest event — keeps the run's tail (flight ring)
+};
+
 /// Collects events in memory; export with to_chrome_json() / to_text().
 class TraceRecorder {
  public:
-  /// `max_events` bounds memory on huge runs: once reached, further events
-  /// are counted (dropped_count) but not stored.  0 = unlimited.
-  explicit TraceRecorder(std::size_t max_events = 0);
+  /// `max_events` bounds memory on huge runs: once reached, kDrop counts
+  /// further events (dropped_count) without storing them, kRing overwrites
+  /// the oldest (overwritten_count) so the buffer always holds the most
+  /// recent tail.  0 = unlimited (kDrop only).
+  explicit TraceRecorder(std::size_t max_events = 0,
+                         OverflowPolicy policy = OverflowPolicy::kDrop);
 
   /// Supplies "now" for every recorded event; defaults to SimTime{0}.
   /// Typically wired to sim.now() by whoever installs the recorder.
@@ -87,11 +97,29 @@ class TraceRecorder {
                    std::vector<TraceArg> args = {});
   void async_end(Subsystem subsystem, std::string name, std::uint64_t id);
 
+  /// Physical storage order; under kRing after a wrap this is rotated —
+  /// use for_each_event() / the exporters for oldest-first order.
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
+  /// Oldest-to-newest visit that is wrap-aware under kRing.
+  template <class Fn>
+  void for_each_event(Fn&& fn) const {
+    const std::size_t n = events_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(events_[(head_ + i) % n]);
+    }
+  }
   [[nodiscard]] std::size_t dropped_count() const { return dropped_; }
+  [[nodiscard]] std::size_t overwritten_count() const { return overwritten_; }
   void clear();
+
+  /// Mirrors every event pushed here into `other` as well (before any
+  /// capacity handling, so the mirror sees events this recorder drops).
+  /// The flight recorder uses this to shadow a user-installed sink; mirror
+  /// chains are not followed.  nullptr detaches.
+  void set_mirror(TraceRecorder* other) { mirror_ = other; }
+  [[nodiscard]] TraceRecorder* mirror() const { return mirror_; }
 
   /// Chrome trace-event JSON ("traceEvents" array plus thread-name
   /// metadata); loads in Perfetto and chrome://tracing.  Timestamps are
@@ -115,15 +143,30 @@ class TraceRecorder {
   std::function<SimTime()> clock_;
   std::vector<TraceEvent> events_;
   std::size_t max_events_ = 0;
+  OverflowPolicy policy_ = OverflowPolicy::kDrop;
+  std::size_t head_ = 0;  // oldest element / next overwrite slot (kRing)
   std::size_t dropped_ = 0;
+  std::size_t overwritten_ = 0;
+  TraceRecorder* mirror_ = nullptr;
 };
 
 /// The process-global trace sink consulted by every instrumentation site;
 /// nullptr (the default) disables tracing.  The simulator is
 /// single-threaded, so plain pointers suffice — the installer owns the
 /// recorder and must clear the sink before destroying it.
+///
+/// Two producers can feed the sink slot: the user-installed recorder
+/// (set_trace_sink) and the flight recorder's always-on ring
+/// (set_flight_ring, installed by obs::FlightRecorder).  When both are
+/// present the user recorder is the sink and mirrors into the ring; when
+/// only the ring is present it is the sink directly — either way call
+/// sites still pay exactly one load+branch when everything is off.
 [[nodiscard]] TraceRecorder* trace_sink();
 void set_trace_sink(TraceRecorder* recorder);
+
+/// Installs/clears the flight recorder's ring buffer (obs/flight.h owns
+/// the ring; nullptr detaches).  Not for general use.
+void set_flight_ring(TraceRecorder* ring);
 
 /// Renders a number the way the text/JSON exporters expect (ostringstream
 /// default formatting — deterministic across runs on one platform).

@@ -7,6 +7,18 @@
 
 namespace vod::service {
 
+namespace {
+
+/// Every report percentile renders through here: SampleSet::quantile
+/// delegates to vod::nearest_rank (common/stats.h), the same rank rule
+/// obs::bucket_quantile uses for histogram/SLO percentiles — one
+/// implementation, one precision.
+std::string quantile_cell(const SampleSet& samples, double q) {
+  return TextTable::num(samples.quantile(q), 2);
+}
+
+}  // namespace
+
 ServiceReport build_report(const VodService& service, Mbps qos_floor) {
   ServiceReport report;
   report.qos_floor = qos_floor;
@@ -174,18 +186,16 @@ std::string format_resilience_report(const ResilienceReport& report) {
   table.add_row({"...of which finished",
                  std::to_string(report.survived_failover)});
   if (report.failover_latency_seconds.count() > 0) {
-    table.add_row(
-        {"failover latency p50 (s)",
-         TextTable::num(report.failover_latency_seconds.median(), 2)});
-    table.add_row(
-        {"failover latency p95 (s)",
-         TextTable::num(report.failover_latency_seconds.quantile(0.95), 2)});
+    table.add_row({"failover latency p50 (s)",
+                   quantile_cell(report.failover_latency_seconds, 0.5)});
+    table.add_row({"failover latency p95 (s)",
+                   quantile_cell(report.failover_latency_seconds, 0.95)});
   }
   if (report.stall_seconds.count() > 0) {
-    table.add_row({"stall time p50 (s)",
-                   TextTable::num(report.stall_seconds.median(), 2)});
-    table.add_row({"stall time p99 (s)",
-                   TextTable::num(report.stall_seconds.quantile(0.99), 2)});
+    table.add_row(
+        {"stall time p50 (s)", quantile_cell(report.stall_seconds, 0.5)});
+    table.add_row(
+        {"stall time p99 (s)", quantile_cell(report.stall_seconds, 0.99)});
   }
   table.add_row({"proactive failovers",
                  std::to_string(report.proactive_failovers)});
@@ -206,16 +216,13 @@ std::string format_resilience_report(const ResilienceReport& report) {
                      TextTable::num(100.0 * sla.availability(), 1) + "%"});
       table.add_row({cls + " preempted", std::to_string(sla.preempted)});
       if (sla.stall_seconds.count() > 0) {
-        table.add_row(
-            {cls + " stall p50/p99 (s)",
-             TextTable::num(sla.stall_seconds.median(), 2) + " / " +
-                 TextTable::num(sla.stall_seconds.quantile(0.99), 2)});
+        table.add_row({cls + " stall p50/p99 (s)",
+                       quantile_cell(sla.stall_seconds, 0.5) + " / " +
+                           quantile_cell(sla.stall_seconds, 0.99)});
       }
       if (sla.failover_latency_seconds.count() > 0) {
-        table.add_row(
-            {cls + " failover p95 (s)",
-             TextTable::num(sla.failover_latency_seconds.quantile(0.95),
-                            2)});
+        table.add_row({cls + " failover p95 (s)",
+                       quantile_cell(sla.failover_latency_seconds, 0.95)});
       }
     }
   }

@@ -8,6 +8,7 @@
 #include "common/contract.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 
 namespace vod::service {
@@ -83,6 +84,26 @@ VodService::VodService(sim::Simulation& sim, const net::Topology& topology,
                      ps.serial_fallback - parallel_baseline_.serial_fallback);
     snap.set_gauge("parallel.workers",
                    static_cast<double>(parallel_config().workers));
+    // Epoch-barrier core shape (zeros under per-event stepping), so the
+    // series sampler can plot sharded-vs-serial mix and shard skew.
+    const sim::EpochExecutor& ex = sim_.epoch_executor();
+    snap.set_counter("epoch.epochs", ex.epochs_run());
+    snap.set_counter("epoch.sharded_events", ex.sharded_events_run());
+    snap.set_counter("epoch.serial_events", ex.serial_events_run());
+    const auto mirror_hist = [&snap](const char* name,
+                                     const obs::Histogram& hist) {
+      // In-place overload: the series sampler snapshots every tick, so a
+      // warm entry's bucket vectors are reused instead of reallocated.
+      snap.set_histogram(name, hist.upper_bounds(), hist.bucket_counts(),
+                         hist.count(), hist.sum());
+    };
+    mirror_hist("epoch.shard_occupancy", ex.shard_occupancy());
+    mirror_hist("epoch.shard_imbalance", ex.shard_imbalance());
+    // Truncated traces are detectable from the snapshot alone; 0 (also
+    // when no sink is installed) keeps the column present in every CSV.
+    obs::TraceRecorder* tr = obs::trace_sink();
+    snap.set_counter("trace.dropped_events",
+                     tr != nullptr ? tr->dropped_count() : 0);
   });
 }
 
@@ -307,6 +328,7 @@ SessionId VodService::spawn_session(NodeId home, const db::VideoInfo& info,
         download_hist_.observe(*m.download_completed_at - m.requested_at);
       }
     }
+    stall_hist_.observe(m.rebuffer_seconds);
     if (options_.qos.enabled) {
       ++qos_counter(cls, m.failed ? "failed" : "finished");
       qos_histogram(cls, "stall_seconds", {1, 5, 15, 60, 300, 900})
@@ -490,6 +512,11 @@ VodService::AdmissionOutcome VodService::request_classed(
       ++preempted_admits_;
       ++qos_counter(cls, "admitted");
       ++qos_counter(cls, "preempted_admits");
+      // A committed sacrifice is an anomaly worth a black box: victims are
+      // aborted, the admission went through over their dead flows.
+      if (obs::FlightRecorder* fr = obs::flight_recorder()) {
+        fr->trigger("preemption");
+      }
       const SessionId id =
           request_at_impl(home, *info, cls, std::move(on_done));
       return AdmissionOutcome{Admission::kPreempted, id,

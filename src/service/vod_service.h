@@ -524,6 +524,11 @@ class VodService {
       "session.startup_delay_seconds", {1, 2, 5, 10, 30, 60, 120, 300});
   obs::Histogram& download_hist_ = metrics_.histogram(
       "session.download_seconds", {60, 300, 600, 1800, 3600, 7200, 14400});
+  /// Rebuffer totals for every retired session regardless of QoS mode (the
+  /// lazy qos.<class>.stall_seconds split exists only on classed runs);
+  /// the SLO monitor's stall-ceiling specs read this one.
+  obs::Histogram& stall_hist_ = metrics_.histogram(
+      "session.stall_seconds", {1, 5, 15, 30, 60, 120, 300, 600, 1800});
   std::size_t active_sessions_ = 0;
   /// Crashed-server set on the failover hot path: sorted vector, binary
   /// searched — a handful of NodeIds never justifies a node-based tree.

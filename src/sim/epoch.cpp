@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/parallel.h"
+#include "obs/profile.h"
 #include "sim/event_queue.h"
 
 namespace vod::sim {
@@ -43,22 +44,45 @@ std::size_t EpochExecutor::run(EventQueue& queue, SimTime now,
       });
       live_total += members.size();
     }
-    // Parallel phase over the fixed shard partition.  The fork decision
-    // weighs the live event count against the grain; the partition itself
-    // never depends on it.  Handlers write only their own shard's
-    // EffectBuffer and affinity-owned state.
-    // vodlint: parallel-region
-    parallel_for_items(shards, live_total,
-                       [&](std::size_t begin, std::size_t end) {
-      for (std::size_t s = begin; s < end; ++s) {
-        for (const std::uint32_t idx : shard_members_[s]) {
-          batch[idx].sharded(now, buffers_[s]);
-        }
+    if (live_total > 0) {
+      // Parallel-core shape: occupied shards and the population skew
+      // between them, per epoch.  Both derive from the partition alone —
+      // identical at any worker width.
+      std::size_t occupied = 0;
+      std::size_t max_members = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t n = shard_members_[s].size();
+        if (n == 0) continue;
+        ++occupied;
+        max_members = std::max(max_members, n);
       }
-    });
-    // Barrier + deterministic merge: effects apply in shard-index order,
-    // within a shard in the order the handlers deferred them.
-    for (std::size_t s = 0; s < shards; ++s) buffers_[s].run_all(now);
+      occupancy_hist_.observe(static_cast<double>(occupied));
+      imbalance_hist_.observe(static_cast<double>(max_members) *
+                              static_cast<double>(occupied) /
+                              static_cast<double>(live_total));
+    }
+    {
+      // Parallel phase over the fixed shard partition.  The fork decision
+      // weighs the live event count against the grain; the partition
+      // itself never depends on it.  Handlers write only their own shard's
+      // EffectBuffer and affinity-owned state.
+      VOD_PROFILE_SCOPE("epoch.parallel_phase");
+      // vodlint: parallel-region
+      parallel_for_items(shards, live_total,
+                         [&](std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          for (const std::uint32_t idx : shard_members_[s]) {
+            batch[idx].sharded(now, buffers_[s]);
+          }
+        }
+      });
+    }
+    {
+      // Barrier + deterministic merge: effects apply in shard-index order,
+      // within a shard in the order the handlers deferred them.
+      VOD_PROFILE_SCOPE("epoch.merge");
+      for (std::size_t s = 0; s < shards; ++s) buffers_[s].run_all(now);
+    }
     executed += live_total;
     sharded_events_ += live_total;
   }
@@ -69,6 +93,7 @@ std::size_t EpochExecutor::run(EventQueue& queue, SimTime now,
     if (!queue.take_epoch_event(batch[idx].sequence)) continue;
     batch[idx].callback(now);
     ++executed;
+    ++serial_events_;
   }
   return executed;
 }

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "obs/metrics.h"
 
 namespace vod::sim {
 
@@ -99,6 +100,23 @@ class EpochExecutor {
   [[nodiscard]] std::uint64_t sharded_events_run() const {
     return sharded_events_;
   }
+  [[nodiscard]] std::uint64_t serial_events_run() const {
+    return serial_events_;
+  }
+
+  /// Per-epoch parallel-core shape, recorded only for epochs with at least
+  /// one live sharded event (pure-serial instants would swamp the
+  /// distributions with zeros).  Pure functions of the event batch, so
+  /// identical at any worker width — VodService mirrors them into the
+  /// metrics snapshot as `epoch.shard_occupancy` / `epoch.shard_imbalance`
+  /// (DESIGN.md §16).
+  [[nodiscard]] const obs::Histogram& shard_occupancy() const {
+    return occupancy_hist_;
+  }
+  /// max shard population / mean over occupied shards; 1 = perfectly even.
+  [[nodiscard]] const obs::Histogram& shard_imbalance() const {
+    return imbalance_hist_;
+  }
 
  private:
   std::vector<std::vector<std::uint32_t>> shard_members_;
@@ -106,6 +124,9 @@ class EpochExecutor {
   std::vector<std::uint32_t> serial_members_;
   std::uint64_t epochs_ = 0;
   std::uint64_t sharded_events_ = 0;
+  std::uint64_t serial_events_ = 0;
+  obs::Histogram occupancy_hist_{{1, 2, 4, 8, 16, 32, 48, 64}};
+  obs::Histogram imbalance_hist_{{1, 1.25, 1.5, 2, 3, 5, 8, 16}};
 };
 
 }  // namespace vod::sim

@@ -4,8 +4,24 @@
 #include <utility>
 
 #include "common/contract.h"
+#include "obs/series.h"
 
 namespace vod::sim {
+
+namespace {
+
+/// Series pump (DESIGN.md §16): takes every cadence tick up to the next
+/// instant BEFORE that instant executes, so a sample at tick T reflects
+/// exactly the events strictly before T regardless of stepping mode or
+/// worker width.  With no recorder installed this is the one load+branch
+/// the determinism contract allows.
+inline void pump_series(const EventQueue& queue) {
+  if (obs::TimeSeriesRecorder* series = obs::series_sink()) {
+    if (const auto next = queue.next_time()) series->on_instant(*next);
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -29,11 +45,16 @@ std::size_t Simulation::run(std::size_t max_events) {
   const SimulationConfig& config = simulation_config();
   if (!config.epoch_barrier) {
     std::size_t executed = 0;
-    while (executed < max_events && queue_.run_next()) ++executed;
+    while (executed < max_events) {
+      pump_series(queue_);
+      if (!queue_.run_next()) break;
+      ++executed;
+    }
     return executed;
   }
   std::size_t executed = 0;
   while (executed < max_events) {
+    pump_series(queue_);
     if (queue_.pop_epoch(epoch_batch_) == 0) break;
     executed += executor_.run(queue_, queue_.now(), epoch_batch_,
                               config.epoch_shards);
@@ -46,6 +67,7 @@ std::size_t Simulation::run_until(SimTime until) {
   std::size_t executed = 0;
   while (auto next = queue_.next_time()) {
     if (*next > until) break;
+    pump_series(queue_);
     if (config.epoch_barrier) {
       if (queue_.pop_epoch(epoch_batch_) == 0) break;
       executed += executor_.run(queue_, queue_.now(), epoch_batch_,
@@ -56,9 +78,11 @@ std::size_t Simulation::run_until(SimTime until) {
     }
   }
   // Advance the clock to `until` with a no-op event so `now()` reflects the
-  // requested horizon even when the queue drained early.
+  // requested horizon even when the queue drained early.  The pump fires
+  // first so series ticks <= `until` are flushed against the final state.
   if (queue_.now() < until) {
     queue_.schedule(until, [](SimTime) {});
+    pump_series(queue_);
     queue_.run_next();
   }
   return executed;

@@ -1,15 +1,25 @@
 // The observability layer: trace recorder exports, the metrics registry,
 // the profiler gate, and an end-to-end check that a traced service run is
-// behaviourally identical to an untraced one.
+// behaviourally identical to an untraced one.  Telemetry v2 (DESIGN.md
+// §16) rides the same contract: bucketed percentiles share the repo's one
+// nearest-rank rule, sim-time series and SLO burn-rate monitors sample
+// deterministically, and the flight recorder's black boxes are
+// byte-identical across double runs.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/stats.h"
 #include "fault/fault_injector.h"
 #include "grnet/grnet.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/series.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "service/report.h"
 #include "service/vod_service.h"
@@ -183,6 +193,427 @@ TEST(Metrics, CsvAndJsonAreDeterministicallyOrdered) {
   EXPECT_NE(json.find("\"b.count\":2"), std::string::npos);
 }
 
+// ---- Bucketed percentiles (the repo's one quantile rule) ----
+
+TEST(BucketQuantile, MatchesSampleSetNearestRankConvention) {
+  // 100 samples 1..100 against decade buckets: the bucket-interpolated
+  // quantile must land exactly where SampleSet's nearest-rank pick does,
+  // because both sides share vod::nearest_rank and the samples are
+  // uniform within every bucket.
+  SampleSet samples;
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram(
+      "v", {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int i = 1; i <= 100; ++i) {
+    samples.add(i);
+    h.observe(i);
+  }
+  for (const double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), samples.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(BucketQuantile, InterpolatesWithinABucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("v", {10.0});
+  for (int i = 0; i < 4; ++i) h.observe(1.0);
+  // rank ceil(0.5*4)=2 of 4 in the [0,10] bucket -> 10 * 2/4.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(BucketQuantile, OverflowBucketClampsToLastBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("v", {1.0, 5.0});
+  h.observe(100.0);  // +inf bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(BucketQuantile, EmptyHistogramThrows) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("v", {1.0});
+  EXPECT_THROW((void)h.quantile(0.5), std::invalid_argument);
+  h.observe(0.5);
+  EXPECT_THROW((void)h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)h.quantile(1.1), std::invalid_argument);
+}
+
+// ---- TimeSeriesRecorder ----
+
+TEST(Series, GoldenCsvAndJsonExports) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("svc.requests");
+  TimeSeriesRecorder recorder;
+  recorder.bind_registry(&registry);
+
+  recorder.sample(SimTime{0.0});
+  requests.inc(30);
+  recorder.sample(SimTime{30.0});
+  requests.inc(15);
+  recorder.sample(SimTime{60.0});
+
+  EXPECT_EQ(recorder.to_csv(),
+            "series,t,value,rate\n"
+            "svc.requests,0,0,0\n"
+            "svc.requests,30,30,1\n"
+            "svc.requests,60,45,0.5\n");
+  EXPECT_EQ(recorder.to_json(),
+            "{\"cadence_s\":30,\"samples\":3,\"series\":{"
+            "\"svc.requests\":{\"evicted\":0,\"points\":["
+            "{\"t\":0,\"v\":0,\"rate\":0},"
+            "{\"t\":30,\"v\":30,\"rate\":1},"
+            "{\"t\":60,\"v\":45,\"rate\":0.5}]}}}\n");
+}
+
+TEST(Series, HistogramsContributeCountAndSumSeries) {
+  MetricsRegistry registry;
+  registry.histogram("d", {1.0}).observe(0.5);
+  TimeSeriesRecorder recorder;
+  recorder.bind_registry(&registry);
+  recorder.sample(SimTime{0.0});
+  EXPECT_EQ(recorder.series().count("d[count]"), 1u);
+  EXPECT_EQ(recorder.series().count("d[sum]"), 1u);
+  EXPECT_EQ(recorder.series().count("d"), 0u);
+}
+
+TEST(Series, IncludePrefixesFilterMetrics) {
+  MetricsRegistry registry;
+  registry.counter("keep.a").inc();
+  registry.counter("drop.b").inc();
+  SeriesOptions options;
+  options.include = {"keep."};
+  TimeSeriesRecorder recorder{options};
+  recorder.bind_registry(&registry);
+  recorder.sample(SimTime{0.0});
+  EXPECT_EQ(recorder.series().count("keep.a"), 1u);
+  EXPECT_EQ(recorder.series().count("drop.b"), 0u);
+}
+
+TEST(Series, BoundedRingEvictsOldestPoints) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  SeriesOptions options;
+  options.capacity = 2;
+  TimeSeriesRecorder recorder{options};
+  recorder.bind_registry(&registry);
+  for (int t = 0; t < 3; ++t) {
+    c.inc();
+    recorder.sample(SimTime{30.0 * t});
+  }
+  const Series& series = recorder.series().at("c");
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_EQ(series.evicted(), 1u);
+  std::vector<double> kept;
+  series.for_each_point(
+      [&kept](const SeriesPoint& p) { kept.push_back(p.at.seconds()); });
+  EXPECT_EQ(kept, (std::vector<double>{30.0, 60.0}));
+}
+
+TEST(Series, PumpFiresEveryTickUpToTheInstant) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  TimeSeriesRecorder recorder;  // cadence 30, first tick at 0
+  recorder.bind_registry(&registry);
+
+  c.inc();
+  recorder.on_instant(SimTime{65.0});  // takes ticks 0, 30, 60
+  EXPECT_EQ(recorder.sample_count(), 3u);
+  EXPECT_EQ(recorder.next_tick().seconds(), 90.0);
+  recorder.on_instant(SimTime{70.0});  // no tick in (65, 70]
+  EXPECT_EQ(recorder.sample_count(), 3u);
+
+  recorder.restart();
+  EXPECT_EQ(recorder.sample_count(), 0u);
+  EXPECT_TRUE(recorder.series().empty());
+  EXPECT_EQ(recorder.next_tick().seconds(), 0.0);
+}
+
+TEST(Series, SimulationPumpSamplesStateStrictlyBeforeEachTick) {
+  sim::Simulation sim;
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  TimeSeriesRecorder recorder;
+  recorder.bind_registry(&registry);
+  set_series_sink(&recorder);
+
+  sim.schedule_at(SimTime{10.0}, [&c](SimTime) { c.inc(); });
+  sim.schedule_at(SimTime{40.0}, [&c](SimTime) { c.inc(); });
+  sim.run_until(SimTime{60.0});
+  set_series_sink(nullptr);
+
+  // Tick 0 precedes both events, tick 30 sits between them, and the
+  // run_until boundary flushes tick 60 after the t=40 event.
+  std::vector<double> values;
+  recorder.series().at("c").for_each_point(
+      [&values](const SeriesPoint& p) { values.push_back(p.value); });
+  EXPECT_EQ(values, (std::vector<double>{0.0, 1.0, 2.0}));
+}
+
+TEST(SeriesSink, DefaultsToNullAndRoundTrips) {
+  EXPECT_EQ(series_sink(), nullptr);
+  TimeSeriesRecorder recorder;
+  set_series_sink(&recorder);
+  EXPECT_EQ(series_sink(), &recorder);
+  set_series_sink(nullptr);
+  EXPECT_EQ(series_sink(), nullptr);
+}
+
+// ---- SloMonitor ----
+
+TEST(Slo, AvailabilityBreachAndRecoverAreEdgeTriggered) {
+  MetricsRegistry registry;
+  Counter& good = registry.counter("good");
+  Counter& bad = registry.counter("bad");
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "avail";
+  spec.kind = SloSpec::Kind::kAvailabilityFloor;
+  spec.good_metric = "good";
+  spec.total_metrics = {"good", "bad"};
+  spec.threshold = 0.9;
+  spec.windows = {{Duration{60.0}, 1.0}, {Duration{20.0}, 1.0}};
+  slo.add(std::move(spec));
+  // The breach counter exists from registration, not first breach.
+  EXPECT_EQ(registry.snapshot().value_u64("slo.avail.breaches"), 0u);
+
+  TraceRecorder trace;
+  double now = 0.0;
+  trace.set_clock([&now] { return SimTime{now}; });
+  set_trace_sink(&trace);
+
+  good.inc(10);
+  now = 10.0;
+  slo.evaluate(SimTime{10.0});
+  EXPECT_FALSE(slo.states()[0].breached);
+
+  bad.inc(5);  // 5 of the window's 15 fail: burn 3.33x in both windows
+  now = 20.0;
+  slo.evaluate(SimTime{20.0});
+  EXPECT_TRUE(slo.states()[0].breached);
+  EXPECT_EQ(slo.states()[0].breaches, 1u);
+  EXPECT_EQ(registry.snapshot().value_u64("slo.avail.breaches"), 1u);
+
+  // Still burning: no second edge.
+  now = 30.0;
+  slo.evaluate(SimTime{30.0});
+  EXPECT_EQ(slo.states()[0].breaches, 1u);
+
+  // A clean stretch slides the bad era out of every window.
+  good.inc(100);
+  now = 100.0;
+  slo.evaluate(SimTime{100.0});
+  EXPECT_FALSE(slo.states()[0].breached);
+  EXPECT_EQ(slo.states()[0].recoveries, 1u);
+
+  set_trace_sink(nullptr);
+  const std::string text = trace.to_text();
+  EXPECT_NE(text.find("t=20 slo i slo.breach slo=avail"),
+            std::string::npos);
+  EXPECT_NE(text.find("t=100 slo i slo.recover slo=avail"),
+            std::string::npos);
+}
+
+TEST(Slo, BreachNeedsEveryWindowBurning) {
+  MetricsRegistry registry;
+  Counter& good = registry.counter("good");
+  Counter& bad = registry.counter("bad");
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "avail";
+  spec.kind = SloSpec::Kind::kAvailabilityFloor;
+  spec.good_metric = "good";
+  spec.total_metrics = {"good", "bad"};
+  spec.threshold = 0.9;
+  spec.windows = {{Duration{1000.0}, 1.0}, {Duration{10.0}, 1.0}};
+  slo.add(std::move(spec));
+
+  good.inc(190);
+  slo.evaluate(SimTime{10.0});
+  bad.inc(10);  // the short window burns 10x, the long one only 0.5x
+  slo.evaluate(SimTime{20.0});
+  EXPECT_FALSE(slo.states()[0].breached);
+  ASSERT_EQ(slo.states()[0].last_burn.size(), 2u);
+  EXPECT_LT(slo.states()[0].last_burn[0], 1.0);
+  EXPECT_GE(slo.states()[0].last_burn[1], 1.0);
+}
+
+TEST(Slo, RatioCeilingBurnsOnWindowedDeltas) {
+  MetricsRegistry registry;
+  Counter& rejected = registry.counter("rejected");
+  Counter& requests = registry.counter("requests");
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "rejects";
+  spec.kind = SloSpec::Kind::kRatioCeiling;
+  spec.bad_metric = "rejected";
+  spec.total_metrics = {"requests"};
+  spec.threshold = 0.25;
+  spec.windows = {{Duration{30.0}, 1.0}};
+  slo.add(std::move(spec));
+
+  requests.inc(100);
+  rejected.inc(10);  // 10% < 25%: burn 0.4
+  slo.evaluate(SimTime{10.0});
+  EXPECT_FALSE(slo.states()[0].breached);
+
+  requests.inc(10);
+  rejected.inc(10);  // windowed delta 10/10 = 100%: burn 4
+  slo.evaluate(SimTime{50.0});
+  EXPECT_TRUE(slo.states()[0].breached);
+}
+
+TEST(Slo, QuantileCeilingReadsWindowedBucketDeltas) {
+  MetricsRegistry registry;
+  Histogram& stalls = registry.histogram("stall", {1.0, 5.0, 10.0});
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "stall-p99";
+  spec.kind = SloSpec::Kind::kQuantileCeiling;
+  spec.histogram_metric = "stall";
+  spec.quantile = 0.99;
+  spec.threshold = 2.0;
+  spec.windows = {{Duration{15.0}, 1.0}};
+  slo.add(std::move(spec));
+
+  for (int i = 0; i < 10; ++i) stalls.observe(0.5);
+  slo.evaluate(SimTime{10.0});  // p99 of the sub-second era: 1.0 -> 0.5x
+  EXPECT_FALSE(slo.states()[0].breached);
+
+  for (int i = 0; i < 10; ++i) stalls.observe(8.0);
+  slo.evaluate(SimTime{20.0});  // p99 jumps into the 5..10 bucket
+  EXPECT_TRUE(slo.states()[0].breached);
+  EXPECT_GE(slo.states()[0].last_burn[0], 1.0);
+}
+
+TEST(Slo, StatusJsonIsDeterministic) {
+  MetricsRegistry registry;
+  registry.counter("good").inc(1);
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "avail";
+  spec.kind = SloSpec::Kind::kAvailabilityFloor;
+  spec.good_metric = "good";
+  spec.total_metrics = {"good"};
+  spec.threshold = 0.5;
+  spec.windows = {{Duration{60.0}, 1.0}};
+  slo.add(std::move(spec));
+  slo.evaluate(SimTime{10.0});
+  EXPECT_EQ(slo.status_json(),
+            "{\"slos\":[{\"name\":\"avail\",\"breached\":false,"
+            "\"breaches\":0,\"recoveries\":0,\"burn\":[0]}]}\n");
+}
+
+TEST(Slo, SpecValidationRejectsNonsense) {
+  MetricsRegistry registry;
+  SloMonitor slo{&registry};
+  SloSpec spec;
+  spec.name = "bad";
+  spec.kind = SloSpec::Kind::kAvailabilityFloor;
+  spec.good_metric = "g";
+  spec.total_metrics = {"g"};
+  spec.threshold = 1.0;  // a 100% floor leaves no budget to burn
+  spec.windows = {{Duration{60.0}, 1.0}};
+  EXPECT_THROW(slo.add(spec), std::invalid_argument);
+  spec.threshold = 0.9;
+  spec.windows.clear();
+  EXPECT_THROW(slo.add(spec), std::invalid_argument);
+}
+
+// ---- FlightRecorder ----
+
+TEST(TraceRecorder, RingModeOverwritesOldestEvents) {
+  TraceRecorder ring{3, OverflowPolicy::kRing};
+  for (int i = 0; i < 5; ++i) {
+    ring.instant(Subsystem::kSim, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(ring.events().size(), 3u);
+  EXPECT_EQ(ring.overwritten_count(), 2u);
+  EXPECT_EQ(ring.dropped_count(), 0u);
+  std::vector<std::string> names;
+  ring.for_each_event(
+      [&names](const TraceEvent& e) { names.push_back(e.name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"e2", "e3", "e4"}));
+  EXPECT_NE(ring.to_text().find("# ring overwrote 2 older event(s)"),
+            std::string::npos);
+  ring.clear();
+  EXPECT_EQ(ring.overwritten_count(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+}
+
+TEST(FlightSink, InstallWiresRingAsEffectiveTraceSink) {
+  FlightOptions options;
+  options.ring_capacity = 4;
+  FlightRecorder flight{options};
+  set_flight_recorder(&flight);
+  // With no user recorder the ring IS the sink...
+  ASSERT_EQ(trace_sink(), &flight.ring());
+  trace_sink()->instant(Subsystem::kService, "one");
+  EXPECT_EQ(flight.ring().events().size(), 1u);
+
+  // ...and a user recorder takes over the slot but mirrors into the ring,
+  // even past its own capacity cap.
+  TraceRecorder capped{1};
+  set_trace_sink(&capped);
+  ASSERT_EQ(trace_sink(), &capped);
+  trace_sink()->instant(Subsystem::kService, "two");
+  trace_sink()->instant(Subsystem::kService, "three");
+  EXPECT_EQ(capped.events().size(), 1u);
+  EXPECT_EQ(capped.dropped_count(), 1u);
+  EXPECT_EQ(flight.ring().events().size(), 3u);
+
+  // Uninstalling the user recorder hands the slot back to the ring;
+  // clearing the flight recorder empties it.
+  set_trace_sink(nullptr);
+  EXPECT_EQ(trace_sink(), &flight.ring());
+  set_flight_recorder(nullptr);
+  EXPECT_EQ(trace_sink(), nullptr);
+  EXPECT_EQ(flight_recorder(), nullptr);
+}
+
+TEST(Flight, TriggerDumpsDeterministicBlackBoxes) {
+  FlightOptions options;
+  options.ring_capacity = 8;
+  options.max_dumps = 2;
+  options.min_gap = Duration{60.0};  // memory-only: no dump_path_prefix
+  FlightRecorder flight{options};
+  MetricsRegistry registry;
+  registry.counter("x").inc(3);
+  flight.bind_registry(&registry);
+  double now = 0.0;
+  flight.set_clock([&now] { return SimTime{now}; });
+  flight.set_config("threads", "2");
+  flight.set_config("seed", "4242");
+  set_flight_recorder(&flight);
+
+  trace_sink()->instant(Subsystem::kService, "service.request");
+  now = 10.0;
+  EXPECT_TRUE(flight.trigger("fault.link-cut"));
+  now = 30.0;
+  EXPECT_FALSE(flight.trigger("too-soon"));  // inside min_gap
+  now = 100.0;
+  EXPECT_TRUE(flight.trigger("preemption"));
+  now = 200.0;
+  EXPECT_FALSE(flight.trigger("over-budget"));  // max_dumps reached
+  set_flight_recorder(nullptr);
+
+  EXPECT_EQ(flight.dump_count(), 2u);
+  EXPECT_EQ(flight.suppressed_count(), 2u);
+  ASSERT_EQ(flight.dumps().size(), 2u);
+  EXPECT_EQ(flight.dumps()[0].first, "fault.link-cut");
+  EXPECT_EQ(flight.dumps()[1].first, "preemption");
+
+  const std::string& dump = flight.dumps()[0].second;
+  EXPECT_NE(dump.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(dump.find("\"reason\":\"fault.link-cut\""), std::string::npos);
+  EXPECT_NE(dump.find("\"sim_time_s\":10"), std::string::npos);
+  // Config renders key-sorted; the metrics snapshot and the ring's events
+  // are embedded in full.
+  EXPECT_LT(dump.find("\"seed\":\"4242\""), dump.find("\"threads\":\"2\""));
+  EXPECT_NE(dump.find("\"x\":3"), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"service.request\""), std::string::npos);
+  EXPECT_NE(flight.dumps()[1].second.find("\"seq\":1"), std::string::npos);
+}
+
 // ---- Profiler ----
 
 TEST(Profiler, DisabledByDefaultAndScopesNoOpWhenOff) {
@@ -313,6 +744,155 @@ TEST(ObsIntegration, ServiceMetricsSnapshotMirrorsComponents) {
   EXPECT_TRUE(snap.has("dma.hits"));
   // ...and the session histograms saw the one finished download.
   EXPECT_EQ(snap.histograms().at("session.download_seconds").count, 1u);
+}
+
+TEST(ObsIntegration, TraceDropCounterSurfacesInRegistry) {
+  const grnet::CaseStudy g = grnet::build_case_study();
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  TraceRecorder capped{2};  // tiny cap: a service run overflows instantly
+  capped.set_clock([&sim] { return sim.now(); });
+  set_trace_sink(&capped);
+  net::FluidNetwork network{g.topology, traffic};
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{10.0};
+  options.dma.admission_threshold = 1'000'000;
+  service::VodService service{sim, g.topology, network, options,
+                              db::AdminCredential{"obs-admin"}};
+  const VideoId movie =
+      service.add_video("movie", MegaBytes{20.0}, Mbps{1.5});
+  service.place_initial_copy(g.thessaloniki, movie);
+  service.start();
+  (void)service.request_at(g.patra, movie);
+  sim.run_until(from_hours(1.0));
+
+  const MetricsSnapshot snap = service.metrics_snapshot();
+  EXPECT_GT(capped.dropped_count(), 0u);
+  EXPECT_EQ(snap.value_u64("trace.dropped_events"), capped.dropped_count());
+  set_trace_sink(nullptr);
+  // With no sink installed the metric still exists and reads zero.
+  EXPECT_EQ(service.metrics_snapshot().value_u64("trace.dropped_events"),
+            0u);
+}
+
+// ---- End to end: telemetry v2 observes without perturbing ----
+
+struct V2Output {
+  RunOutput base;
+  std::string series_csv;
+  std::string series_json;
+  std::string slo_json;
+  std::vector<std::pair<std::string, std::string>> flight_dumps;
+};
+
+/// The run_grnet_scenario storyline (requests + a link cut) with the full
+/// v2 stack installed when `observe` is set: series sampler on the service
+/// registry, an availability SLO riding the sampling ticks, and a
+/// memory-only flight recorder (the link cut triggers a black box).
+V2Output run_grnet_v2(bool observe) {
+  const grnet::CaseStudy g = grnet::build_case_study();
+  net::NoTraffic traffic;
+  sim::Simulation sim;
+  net::FluidNetwork network{g.topology, traffic};
+
+  service::ServiceOptions options;
+  options.cluster_size = MegaBytes{10.0};
+  options.snmp_interval_seconds = 120.0;
+  options.dma.admission_threshold = 1;
+  service::VodService service{sim, g.topology, network, options,
+                              db::AdminCredential{"obs-admin"}};
+
+  TimeSeriesRecorder series;
+  std::unique_ptr<SloMonitor> slo;
+  FlightOptions flight_options;
+  flight_options.min_gap = Duration{0.0};
+  FlightRecorder flight{flight_options};
+  if (observe) {
+    series.bind_registry(&service.metrics());
+    slo = std::make_unique<SloMonitor>(&service.metrics());
+    SloSpec spec;
+    spec.name = "finish";
+    spec.kind = SloSpec::Kind::kAvailabilityFloor;
+    spec.good_metric = "service.sessions_finished";
+    spec.total_metrics = {"service.sessions_finished",
+                          "service.sessions_failed"};
+    spec.threshold = 0.99;
+    spec.windows = {{Duration{600.0}, 1.0}, {Duration{120.0}, 1.0}};
+    slo->add(std::move(spec));
+    series.set_on_sample([&slo](SimTime at, const MetricsSnapshot& snap) {
+      slo->evaluate(at, snap);
+    });
+    set_series_sink(&series);
+    flight.bind_registry(&service.metrics());
+    flight.set_clock([&sim] { return sim.now(); });
+    flight.set_config("scenario", "grnet-v2");
+    set_flight_recorder(&flight);
+  }
+
+  const VideoId movie =
+      service.add_video("movie", MegaBytes{40.0}, Mbps{1.5});
+  service.place_initial_copy(g.thessaloniki, movie);
+  service.start();
+  for (int i = 0; i < 4; ++i) {
+    const NodeId home = i % 2 == 0 ? g.patra : g.athens;
+    sim.schedule_at(SimTime{60.0 * (i + 1)},
+                    [&service, home, movie](SimTime) {
+                      (void)service.request_at(home, movie);
+                    });
+  }
+  fault::FaultInjector injector{sim, service};
+  injector.cut_link_at(SimTime{300.0}, g.patra_ioannina);
+  injector.restore_link_at(SimTime{700.0}, g.patra_ioannina);
+  sim.run_until(from_hours(3.0));
+
+  V2Output out;
+  out.base = RunOutput{
+      .sessions_csv = service::report_sessions_csv(service),
+      .report = service::format_report(
+          service::build_report(service, Mbps{0.0})),
+      .metrics_csv = service.metrics_snapshot().to_csv(),
+  };
+  if (observe) {
+    out.series_csv = series.to_csv();
+    out.series_json = series.to_json();
+    out.slo_json = slo->status_json();
+    out.flight_dumps = flight.dumps();
+    set_series_sink(nullptr);
+    set_flight_recorder(nullptr);
+  }
+  return out;
+}
+
+TEST(ObsIntegration, TelemetryV2ObservesWithoutPerturbing) {
+  const V2Output plain = run_grnet_v2(false);
+  const V2Output observed = run_grnet_v2(true);
+
+  // Observe-only: everything the run externalizes about the simulated
+  // world is byte-identical.  (The metrics CSV legitimately gains the
+  // slo.finish.breaches counter, so it is compared between v2 runs below,
+  // not across the on/off pair.)
+  EXPECT_EQ(plain.base.sessions_csv, observed.base.sessions_csv);
+  EXPECT_EQ(plain.base.report, observed.base.report);
+
+  // The sampler covered the three-hour run on the 30 s cadence and the
+  // link cut left a black box.
+  EXPECT_NE(observed.series_csv.find("service.active_sessions"),
+            std::string::npos);
+  ASSERT_GE(observed.flight_dumps.size(), 1u);
+  EXPECT_EQ(observed.flight_dumps[0].first, "fault.link-cut");
+
+  // Determinism: a double run reproduces every v2 artefact byte for byte.
+  const V2Output again = run_grnet_v2(true);
+  EXPECT_EQ(observed.base.metrics_csv, again.base.metrics_csv);
+  EXPECT_EQ(observed.series_csv, again.series_csv);
+  EXPECT_EQ(observed.series_json, again.series_json);
+  EXPECT_EQ(observed.slo_json, again.slo_json);
+  ASSERT_EQ(observed.flight_dumps.size(), again.flight_dumps.size());
+  for (std::size_t i = 0; i < observed.flight_dumps.size(); ++i) {
+    EXPECT_EQ(observed.flight_dumps[i].first, again.flight_dumps[i].first);
+    EXPECT_EQ(observed.flight_dumps[i].second,
+              again.flight_dumps[i].second);
+  }
 }
 
 }  // namespace

@@ -235,6 +235,29 @@ TEST(Qos, ResilienceReportCarriesPerClassSla) {
   (void)ids;
 }
 
+TEST(Qos, ReportQuantileCellsFollowTheSharedNearestRankRule) {
+  // Regression lock for the percentile unification (DESIGN.md §16): every
+  // report percentile renders through SampleSet::quantile, which is
+  // nearest-rank — max(1, ceil(q * n)) — the same rule obs::bucket_quantile
+  // interpolates against.  100 known samples make the ranks legible.
+  ResilienceReport report;
+  report.requests = 100;
+  report.finished = 100;
+  for (int i = 1; i <= 100; ++i) {
+    report.stall_seconds.add(static_cast<double>(i));
+    report.failover_latency_seconds.add(10.0 * i);
+  }
+  EXPECT_DOUBLE_EQ(report.stall_seconds.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(report.stall_seconds.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(report.failover_latency_seconds.quantile(0.95), 950.0);
+
+  const std::string rendered = format_resilience_report(report);
+  EXPECT_NE(rendered.find("stall time p50 (s)"), std::string::npos);
+  EXPECT_NE(rendered.find("50.00"), std::string::npos);
+  EXPECT_NE(rendered.find("99.00"), std::string::npos);
+  EXPECT_NE(rendered.find("950.00"), std::string::npos);
+}
+
 TEST(Qos, DisabledQosMatchesClasslessServiceExactly) {
   // The single-class guarantee: with qos.enabled == false (the default),
   // request_classed is request_with_admission for any class argument —

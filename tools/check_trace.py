@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Minimal schema check for the Chrome trace-event JSON the obs layer emits.
+"""Schema checks for the JSON artefacts the obs layer emits.
 
-Validates the subset of the trace-event format the TraceRecorder produces
+Three kinds (``--kind``, default ``trace``):
+
+``trace`` — the Chrome trace-event subset the TraceRecorder produces
 (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
 
   * top level is an object with a ``traceEvents`` list;
@@ -10,15 +12,31 @@ Validates the subset of the trace-event format the TraceRecorder produces
   * non-metadata events carry a numeric, non-negative ``ts`` and a ``tid``;
   * instants carry ``"s": "t"``; async events carry an ``id``;
   * counters carry a numeric ``args.value``;
-  * B/E and b/e events balance per (tid, name) / (id, name).
+  * B/E and b/e events balance per (tid, name) / (id, name);
+  * slo-track events (cat ``slo``) are instants named ``slo.breach`` /
+    ``slo.recover`` whose args name the SLO (breaches also carry the burn
+    rate); recover events only follow a breach of the same SLO.
 
-Usage:  check_trace.py TRACE.json [--min-subsystems N] [--monotone-ts]
+``series`` — TimeSeriesRecorder::to_json(): positive ``cadence_s``, a
+``samples`` tick count, and per-series bounded point lists with strictly
+increasing timestamps (points + evicted never exceed the tick count).
+
+``flight`` — one FlightRecorder black box: ``flight_record`` with ``seq``,
+a non-empty ``reason``, ``sim_time_s``, key-sorted string ``config``, a
+``ring`` (capacity / overwritten / event list in trace-event shape) and a
+``metrics`` snapshot object (or null when no registry was bound).
+
+Usage:  check_trace.py FILE [--kind trace|series|flight]
+                            [--min-subsystems N] [--monotone-ts]
+                            [--require-slo]
 
 ``--min-subsystems N`` requires events (beyond metadata) on at least N
 distinct tid tracks — the PR-acceptance knob.  ``--monotone-ts`` asserts
 timestamps never go backwards in file order; valid for any single-clock
 run (the recorder appends in simulation order), but not for benches that
-trace several back-to-back simulations into one file.
+trace several back-to-back simulations into one file.  ``--require-slo``
+(trace kind) demands at least one slo.breach instant — the SLO-monitor
+smoke knob.
 """
 
 from __future__ import annotations
@@ -35,7 +53,12 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
-def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
+def is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_trace(trace: object, min_subsystems: int, monotone_ts: bool,
+                require_slo: bool) -> str:
     if not isinstance(trace, dict):
         fail("top level is not a JSON object")
     events = trace.get("traceEvents")
@@ -47,6 +70,8 @@ def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
     tracks: set[int] = set()
     duration_stack: dict[tuple[int, str], int] = {}
     async_open: dict[tuple[int, str], int] = {}
+    breached_slos: set[str] = set()
+    slo_breaches = 0
     last_ts: float | None = None
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
@@ -61,7 +86,7 @@ def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
         if phase == "M":
             continue
         ts = event.get("ts")
-        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        if not is_number(ts) or ts < 0:
             fail(f"{where} lacks a numeric non-negative ts")
         if monotone_ts and last_ts is not None and ts < last_ts:
             fail(f"{where} ts {ts} goes backwards (previous {last_ts})")
@@ -75,8 +100,31 @@ def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
             fail(f"{where} instant lacks scope \"s\": \"t\"")
         if phase == "C":
             value = event.get("args", {}).get("value")
-            if not isinstance(value, (int, float)) or isinstance(value, bool):
+            if not is_number(value):
                 fail(f"{where} counter lacks numeric args.value")
+        if event.get("cat") == "slo":
+            if phase != "i":
+                fail(f"{where} slo-track event {name!r} is not an instant")
+            if name not in ("slo.breach", "slo.recover"):
+                fail(f"{where} unknown slo-track event {name!r}")
+            slo = event.get("args", {}).get("slo")
+            if not isinstance(slo, str) or not slo:
+                fail(f"{where} slo event lacks args.slo")
+            if name == "slo.breach":
+                burn = event.get("args", {}).get("burn")
+                if burn is None:
+                    fail(f"{where} slo.breach lacks args.burn")
+                try:
+                    if float(burn) < 0.0:
+                        fail(f"{where} slo.breach burn {burn} negative")
+                except ValueError:
+                    fail(f"{where} slo.breach burn {burn!r} not numeric")
+                breached_slos.add(slo)
+                slo_breaches += 1
+            elif slo not in breached_slos:
+                fail(f"{where} slo.recover for {slo!r} without a breach")
+            else:
+                breached_slos.discard(slo)
         if phase in ("b", "e"):
             if "id" not in event:
                 fail(f"{where} async event lacks an id")
@@ -106,25 +154,152 @@ def check(trace: object, min_subsystems: int, monotone_ts: bool) -> str:
     if len(tracks) < min_subsystems:
         fail(f"events on only {len(tracks)} subsystem track(s); "
              f"need >= {min_subsystems}")
+    if require_slo and slo_breaches == 0:
+        fail("no slo.breach events (--require-slo)")
     return (f"{len(events)} event(s) on {len(tracks)} subsystem track(s), "
-            f"schema ok")
+            f"{slo_breaches} slo breach(es), schema ok")
+
+
+def check_series(doc: object) -> str:
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    cadence = doc.get("cadence_s")
+    if not is_number(cadence) or cadence <= 0:
+        fail("cadence_s is not a positive number")
+    samples = doc.get("samples")
+    if not isinstance(samples, int) or isinstance(samples, bool) or \
+            samples < 0:
+        fail("samples is not a non-negative integer")
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        fail("missing series object")
+    points_total = 0
+    for name, entry in series.items():
+        where = f"series[{name!r}]"
+        if not isinstance(entry, dict):
+            fail(f"{where} is not an object")
+        evicted = entry.get("evicted")
+        if not isinstance(evicted, int) or isinstance(evicted, bool) or \
+                evicted < 0:
+            fail(f"{where} evicted is not a non-negative integer")
+        points = entry.get("points")
+        if not isinstance(points, list):
+            fail(f"{where} lacks a points list")
+        last_t: float | None = None
+        for i, point in enumerate(points):
+            pwhere = f"{where}.points[{i}]"
+            if not isinstance(point, dict):
+                fail(f"{pwhere} is not an object")
+            for key in ("t", "v", "rate"):
+                if not is_number(point.get(key)):
+                    fail(f"{pwhere} lacks numeric {key!r}")
+            if last_t is not None and point["t"] <= last_t:
+                fail(f"{pwhere} t {point['t']} not after {last_t}")
+            last_t = point["t"]
+        # Each sampling tick appends at most one point per series (a series
+        # can start late: lazily created instruments miss earlier ticks).
+        if len(points) + evicted > samples:
+            fail(f"{where} holds {len(points)}+{evicted} point(s) "
+                 f"from only {samples} tick(s)")
+        points_total += len(points)
+    return (f"{len(series)} series, {points_total} point(s) over "
+            f"{samples} tick(s), schema ok")
+
+
+def check_flight(doc: object) -> str:
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    record = doc.get("flight_record")
+    if not isinstance(record, dict):
+        fail("missing flight_record object")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        fail("seq is not a non-negative integer")
+    reason = record.get("reason")
+    if not isinstance(reason, str) or not reason:
+        fail("reason is not a non-empty string")
+    if not is_number(record.get("sim_time_s")):
+        fail("sim_time_s is not a number")
+    config = record.get("config")
+    if not isinstance(config, dict):
+        fail("missing config object")
+    keys = list(config)
+    if keys != sorted(keys):
+        fail("config keys are not sorted (dump would be nondeterministic)")
+    for key, value in config.items():
+        if not isinstance(value, str):
+            fail(f"config[{key!r}] is not a string")
+    ring = record.get("ring")
+    if not isinstance(ring, dict):
+        fail("missing ring object")
+    capacity = ring.get("capacity")
+    if not isinstance(capacity, int) or isinstance(capacity, bool) or \
+            capacity <= 0:
+        fail("ring.capacity is not a positive integer")
+    overwritten = ring.get("overwritten")
+    if not isinstance(overwritten, int) or isinstance(overwritten, bool) or \
+            overwritten < 0:
+        fail("ring.overwritten is not a non-negative integer")
+    events = ring.get("events")
+    if not isinstance(events, list):
+        fail("ring lacks an events list")
+    if len(events) > capacity:
+        fail(f"ring holds {len(events)} event(s), capacity {capacity}")
+    last_t: float | None = None
+    for i, event in enumerate(events):
+        where = f"ring.events[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        if not is_number(event.get("t")):
+            fail(f"{where} lacks numeric t")
+        if last_t is not None and event["t"] < last_t:
+            fail(f"{where} t {event['t']} goes backwards")
+        last_t = event["t"]
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in KNOWN_PHASES:
+            fail(f"{where} has unknown phase {phase!r}")
+        for key in ("subsystem", "name"):
+            if not isinstance(event.get(key), str) or not event[key]:
+                fail(f"{where} lacks string {key!r}")
+        if phase in ("b", "e") and "id" not in event:
+            fail(f"{where} async event lacks an id")
+        if phase == "C" and not is_number(event.get("value")):
+            fail(f"{where} counter lacks numeric value")
+    metrics = record.get("metrics", "absent")
+    if metrics == "absent":
+        fail("missing metrics key")
+    if metrics is not None and not isinstance(metrics, dict):
+        fail("metrics is neither an object nor null")
+    return (f"seq {seq} ({reason}): {len(events)} ring event(s), "
+            f"{len(config)} config key(s), schema ok")
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("trace", help="JSON artefact to validate")
+    parser.add_argument("--kind", choices=("trace", "series", "flight"),
+                        default="trace",
+                        help="which obs artefact schema to apply")
     parser.add_argument("--min-subsystems", type=int, default=1,
                         help="require events on at least N tid tracks")
     parser.add_argument("--monotone-ts", action="store_true",
                         help="assert timestamps never decrease in file order")
+    parser.add_argument("--require-slo", action="store_true",
+                        help="require at least one slo.breach instant")
     args = parser.parse_args()
     try:
         with open(args.trace, encoding="utf-8") as handle:
-            trace = json.load(handle)
+            doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as error:
         fail(str(error))
-    print(f"check_trace: {args.trace}: "
-          f"{check(trace, args.min_subsystems, args.monotone_ts)}")
+    if args.kind == "series":
+        summary = check_series(doc)
+    elif args.kind == "flight":
+        summary = check_flight(doc)
+    else:
+        summary = check_trace(doc, args.min_subsystems, args.monotone_ts,
+                              args.require_slo)
+    print(f"check_trace: {args.trace}: {summary}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,47 @@
+// vodlint fixture: [entropy] over telemetry-flavored code.  Lint-only —
+// never compiled (vodlint reads text, not symbols).  The obs layer itself
+// (src/obs/) is directory-exempt because its wall-clock profiler is
+// observe-only; this file lives OUTSIDE that quarantine, standing in for
+// telemetry code anywhere else in the tree.  Series points, SLO windows
+// and flight dumps must be stamped with SimTime — a wall clock or rand()
+// in their path silently breaks the byte-identical double-run contract
+// (DESIGN.md §16).  The ctest entry asserts --expect entropy=4 over this
+// file: four live leaks below, one suppressed twin.
+
+namespace fixture {
+
+// A "timestamp the sample" helper reaching for the host clock: the series
+// cadence must come from the simulation, never from here.
+double sample_wall_timestamp() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();  // expected: wall-clock read
+}
+
+// Jittering a sampling cadence with rand() makes every run's series
+// differ; jitter belongs to vod::Rng with a seed if it belongs anywhere.
+double jittered_cadence(double cadence_seconds) {
+  return cadence_seconds * (1.0 + 0.01 * (rand() % 100));  // expected
+}
+
+// Stamping a flight dump with calendar time: two identical runs would
+// produce different black boxes.
+long long flight_dump_stamp() {
+  return static_cast<long long>(time(nullptr));  // expected: time()
+}
+
+// Naming dump files from std::random_device: not even seedable.
+unsigned dump_nonce() {
+  std::random_device device;  // expected: std::random_device
+  return device();
+}
+
+// The sanctioned escape hatch, for code that genuinely measures the host
+// (the profiler pattern): waive with a reason.
+double profiler_overhead_probe() {
+  // vodlint:entropy-ok(observe-only overhead probe; never feeds the sim)
+  const auto now = std::chrono::steady_clock::now();  // suppressed
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+}  // namespace fixture
